@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # dcode-array
+//!
+//! The multi-stripe array layer on top of the D-Code reproduction's coding
+//! engine — what a filesystem or block device would actually mount:
+//!
+//! * [`mod@array`] — logical element addressing across stripes, failure
+//!   injection, degraded reads, incremental writes, whole-disk rebuild;
+//! * [`rotation`] — stripe-by-stripe logical→physical column rotation
+//!   (the RAID-5-style global balancing the paper's Section II discusses);
+//! * [`loadstudy`] — quantifies why rotation cannot fix an unbalanced code
+//!   when stripe popularity is skewed (the paper's argument, measured);
+//! * [`scrub`] — silent-corruption detection, localization, and repair
+//!   using the two orthogonal parity families;
+//! * [`objstore`] — a small object store whose index lives inside the
+//!   array, demonstrating the stack end to end.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dcode_array::{Array, RotationScheme};
+//! use dcode_core::dcode::dcode;
+//!
+//! let mut array = Array::new(dcode(5).unwrap(), 512, 8, RotationScheme::PerStripe);
+//! let data = vec![7u8; 20 * 512];
+//! array.write(0, &data).unwrap();
+//! array.fail_disk(3).unwrap();
+//! assert_eq!(array.read(0, 20).unwrap(), data);   // served degraded
+//! array.rebuild_disk(3).unwrap();
+//! ```
+
+pub mod array;
+pub mod loadstudy;
+pub mod objstore;
+pub mod rotation;
+pub mod scrub;
+
+pub use array::{Array, ArrayError};
+pub use loadstudy::{lf, physical_loads, StripeSkew};
+pub use objstore::{ObjectStore, StoreError};
+pub use rotation::RotationScheme;
+pub use scrub::{failing_equations, scrub_stripe, ScrubReport};

@@ -1,0 +1,291 @@
+//! A small object store on top of the RAID-6 [`Array`] — the kind of
+//! application the paper's introduction motivates (cloud/object storage on
+//! dependable arrays). Demonstrates that the array layer is a real block
+//! device: the store's own metadata lives *inside* the array (first
+//! elements of the address space), so a store can be re-opened from a
+//! (possibly degraded) array alone.
+//!
+//! Design: a fixed metadata region at the front holds a text index
+//! (`name,start,len_bytes` per line); objects are allocated first-fit on
+//! element ranges after it. Deliberately simple — no compaction, no
+//! transactions — but every byte path goes through RAID-6 encode/recover.
+
+use crate::array::{Array, ArrayError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying array failure (out of range, too many failed disks…).
+    Array(ArrayError),
+    /// No contiguous free range large enough.
+    NoSpace {
+        /// Elements requested.
+        needed: usize,
+    },
+    /// Object name not present.
+    NotFound(String),
+    /// Object name already present.
+    Exists(String),
+    /// Names may not contain commas or newlines (index format).
+    BadName(String),
+    /// The on-array index is malformed (corrupted or not a store).
+    BadIndex(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Array(e) => write!(f, "array error: {e}"),
+            StoreError::NoSpace { needed } => write!(f, "no space for {needed} elements"),
+            StoreError::NotFound(n) => write!(f, "object '{n}' not found"),
+            StoreError::Exists(n) => write!(f, "object '{n}' already exists"),
+            StoreError::BadName(n) => write!(f, "invalid object name '{n}'"),
+            StoreError::BadIndex(why) => write!(f, "corrupt index: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ArrayError> for StoreError {
+    fn from(e: ArrayError) -> Self {
+        StoreError::Array(e)
+    }
+}
+
+/// An object store over a RAID-6 array.
+pub struct ObjectStore {
+    array: Array,
+    /// Elements reserved for the index at the front of the address space.
+    meta_elements: usize,
+    /// name → (start element, byte length).
+    index: BTreeMap<String, (usize, usize)>,
+}
+
+impl ObjectStore {
+    /// Format a fresh store on `array`, reserving `meta_elements` elements
+    /// for the index.
+    pub fn format(mut array: Array, meta_elements: usize) -> Result<Self, StoreError> {
+        assert!(meta_elements >= 1);
+        assert!(meta_elements < array.capacity_elements());
+        let block = array.capacity_bytes() / array.capacity_elements();
+        array.write(0, &vec![0u8; meta_elements * block])?;
+        let mut store = ObjectStore {
+            array,
+            meta_elements,
+            index: BTreeMap::new(),
+        };
+        store.persist_index()?;
+        Ok(store)
+    }
+
+    /// Re-open a store from an existing array (reads the on-array index,
+    /// reconstructing through failures if needed).
+    pub fn open(array: Array, meta_elements: usize) -> Result<Self, StoreError> {
+        let block = array.capacity_bytes() / array.capacity_elements();
+        let raw = array.read(0, meta_elements)?;
+        let text = String::from_utf8_lossy(&raw);
+        let mut index = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end_matches('\0').trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let (Some(name), Some(start), Some(len)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(StoreError::BadIndex(format!("line '{line}'")));
+            };
+            let start: usize = start
+                .parse()
+                .map_err(|_| StoreError::BadIndex(format!("start '{start}'")))?;
+            let len: usize = len
+                .parse()
+                .map_err(|_| StoreError::BadIndex(format!("len '{len}'")))?;
+            index.insert(name.to_string(), (start, len));
+        }
+        let _ = block;
+        Ok(ObjectStore {
+            array,
+            meta_elements,
+            index,
+        })
+    }
+
+    /// The underlying array (for failure injection in tests/demos).
+    pub fn array_mut(&mut self) -> &mut Array {
+        &mut self.array
+    }
+
+    fn block_size(&self) -> usize {
+        self.array.capacity_bytes() / self.array.capacity_elements()
+    }
+
+    fn elements_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.block_size()).max(1)
+    }
+
+    fn persist_index(&mut self) -> Result<(), StoreError> {
+        let mut text = String::new();
+        for (name, (start, len)) in &self.index {
+            text.push_str(&format!("{name},{start},{len}\n"));
+        }
+        let cap = self.meta_elements * self.block_size();
+        if text.len() > cap {
+            return Err(StoreError::NoSpace {
+                needed: self.elements_for(text.len()) - self.meta_elements,
+            });
+        }
+        let mut buf = text.into_bytes();
+        buf.resize(cap, 0);
+        self.array.write(0, &buf)?;
+        Ok(())
+    }
+
+    /// First-fit allocation after the metadata region.
+    fn allocate(&self, elements: usize) -> Result<usize, StoreError> {
+        let mut used: Vec<(usize, usize)> = self
+            .index
+            .values()
+            .map(|&(start, len)| (start, self.elements_for(len)))
+            .collect();
+        used.sort_unstable();
+        let mut cursor = self.meta_elements;
+        for (start, len) in used {
+            if start >= cursor + elements {
+                break;
+            }
+            cursor = cursor.max(start + len);
+        }
+        if cursor + elements <= self.array.capacity_elements() {
+            Ok(cursor)
+        } else {
+            Err(StoreError::NoSpace { needed: elements })
+        }
+    }
+
+    /// Store an object.
+    pub fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        if name.is_empty() || name.contains(',') || name.contains('\n') {
+            return Err(StoreError::BadName(name.to_string()));
+        }
+        if self.index.contains_key(name) {
+            return Err(StoreError::Exists(name.to_string()));
+        }
+        let elements = self.elements_for(bytes.len());
+        let start = self.allocate(elements)?;
+        let block = self.block_size();
+        let mut padded = bytes.to_vec();
+        padded.resize(elements * block, 0);
+        self.array.write(start, &padded)?;
+        self.index.insert(name.to_string(), (start, bytes.len()));
+        self.persist_index()
+    }
+
+    /// Fetch an object's bytes (works while degraded).
+    pub fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let &(start, len) = self
+            .index
+            .get(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+        let mut bytes = self.array.read(start, self.elements_for(len))?;
+        bytes.truncate(len);
+        Ok(bytes)
+    }
+
+    /// Delete an object (space becomes reusable).
+    pub fn delete(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.index.remove(name).is_none() {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        self.persist_index()
+    }
+
+    /// List object names and byte sizes.
+    pub fn list(&self) -> Vec<(String, usize)> {
+        self.index
+            .iter()
+            .map(|(n, &(_, len))| (n.clone(), len))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::RotationScheme;
+    use dcode_core::dcode::dcode;
+
+    fn new_store() -> ObjectStore {
+        let array = Array::new(dcode(7).unwrap(), 64, 8, RotationScheme::PerStripe);
+        ObjectStore::format(array, 4).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut s = new_store();
+        let a: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..1234u32).map(|i| (i * 3) as u8).collect();
+        s.put("a", &a).unwrap();
+        s.put("b", &b).unwrap();
+        assert_eq!(s.get("a").unwrap(), a);
+        assert_eq!(s.get("b").unwrap(), b);
+        assert_eq!(s.list().len(), 2);
+        s.delete("a").unwrap();
+        assert!(matches!(s.get("a"), Err(StoreError::NotFound(_))));
+        // Freed space is reusable.
+        s.put("c", &a).unwrap();
+        assert_eq!(s.get("c").unwrap(), a);
+        assert_eq!(s.get("b").unwrap(), b);
+    }
+
+    #[test]
+    fn survives_double_failure_and_reopen() {
+        let mut s = new_store();
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i * 7) as u8).collect();
+        s.put("precious", &payload).unwrap();
+
+        s.array_mut().fail_disk(2).unwrap();
+        s.array_mut().fail_disk(5).unwrap();
+        // Reads still work while degraded.
+        assert_eq!(s.get("precious").unwrap(), payload);
+
+        // A brand-new store instance can re-open from the degraded array
+        // alone (the index lives in the array).
+        let mut array = Array::new(dcode(7).unwrap(), 64, 8, RotationScheme::PerStripe);
+        std::mem::swap(&mut array, s.array_mut());
+        let reopened = ObjectStore::open(array, 4).unwrap();
+        assert_eq!(reopened.get("precious").unwrap(), payload);
+    }
+
+    #[test]
+    fn allocation_exhaustion_reported() {
+        let mut s = new_store();
+        let cap = 64 * (8 * dcode(7).unwrap().data_len() - 4);
+        let too_big = vec![0u8; cap + 64];
+        assert!(matches!(
+            s.put("big", &too_big),
+            Err(StoreError::NoSpace { .. })
+        ));
+        // A fitting object still works afterwards.
+        s.put("ok", &[1, 2, 3]).unwrap();
+        assert_eq!(s.get("ok").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let mut s = new_store();
+        assert!(matches!(s.put("", &[1]), Err(StoreError::BadName(_))));
+        assert!(matches!(s.put("a,b", &[1]), Err(StoreError::BadName(_))));
+        assert!(matches!(s.put("a\nb", &[1]), Err(StoreError::BadName(_))));
+    }
+
+    #[test]
+    fn duplicate_put_rejected() {
+        let mut s = new_store();
+        s.put("x", &[1]).unwrap();
+        assert!(matches!(s.put("x", &[2]), Err(StoreError::Exists(_))));
+    }
+}

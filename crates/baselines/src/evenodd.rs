@@ -1,0 +1,90 @@
+//! EVENODD (Blaum, Brady, Bruck & Menon, 1995).
+//!
+//! The original horizontal RAID-6 array code: `p+2` disks (`p` prime),
+//! `p−1` rows. Disks `0..p` hold data (columns `0..p−1`), disk `p` holds row
+//! parities, disk `p+1` holds diagonal parities. Every diagonal parity also
+//! XORs in the *special diagonal* `S` (class `⟨r+c⟩ₚ = p−1`), which is why
+//! EVENODD's update complexity is far from optimal — updating an S-diagonal
+//! element dirties every diagonal parity.
+//!
+//! EVENODD is not part of the D-Code paper's measured comparison set, but it
+//! is the ancestral horizontal code the paper discusses, and having it in
+//! the registry exercises the generic machinery on a code whose equations
+//! overlap heavily.
+
+use dcode_core::dcode::ConstructError;
+use dcode_core::equation::EquationKind;
+use dcode_core::grid::Cell;
+use dcode_core::layout::{CodeLayout, LayoutBuilder};
+use dcode_core::modmath::{is_prime, md};
+
+/// Build EVENODD over `p+2` disks.
+pub fn evenodd(p: usize) -> Result<CodeLayout, ConstructError> {
+    if !is_prime(p) {
+        return Err(ConstructError::NotPrime(p));
+    }
+    if p < 3 {
+        return Err(ConstructError::TooSmall(p));
+    }
+    let rows = p - 1;
+    let mut b = LayoutBuilder::new("EVENODD", p, rows, p + 2);
+
+    // Row parities: disk p covers all p data columns.
+    for r in 0..rows {
+        let members: Vec<Cell> = (0..p).map(|c| Cell::new(r, c)).collect();
+        b.equation(EquationKind::Row, Cell::new(r, p), members);
+    }
+
+    // The special diagonal S: cells with ⟨r+c⟩ₚ = p−1 over the data columns.
+    let s_cells: Vec<Cell> = (0..rows)
+        .map(|r| Cell::new(r, md(p as i64 - 1 - r as i64, p)))
+        .collect();
+
+    // Diagonal parities: E(i, p+1) = S ⊕ (⊕ cells of diagonal i). S and
+    // diagonal i are disjoint for i ≠ p−1, so the member list is the plain
+    // union.
+    for i in 0..rows {
+        let mut members: Vec<Cell> = (0..rows)
+            .map(|r| Cell::new(r, md(i as i64 - r as i64, p)))
+            .collect();
+        members.extend(s_cells.iter().copied());
+        b.equation(EquationKind::Diagonal, Cell::new(i, p + 1), members);
+    }
+
+    Ok(b.build()
+        .expect("EVENODD construction is structurally valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_core::mds::verify_mds;
+    use dcode_core::metrics::update_complexity;
+    use dcode_core::PAPER_PRIMES;
+
+    #[test]
+    fn evenodd_is_mds_for_paper_primes() {
+        for p in PAPER_PRIMES {
+            verify_mds(&evenodd(p).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn shape() {
+        let l = evenodd(5).unwrap();
+        assert_eq!(l.disks(), 7);
+        assert_eq!(l.rows(), 4);
+        assert_eq!(l.data_len(), 20);
+        assert_eq!(l.parity_count_in_col(5), 4);
+        assert_eq!(l.parity_count_in_col(6), 4);
+    }
+
+    #[test]
+    fn s_diagonal_elements_have_huge_update_complexity() {
+        let p = 7;
+        let l = evenodd(p).unwrap();
+        let (_, max) = update_complexity(&l);
+        // An S-cell dirties its row parity + all p−1 diagonal parities.
+        assert_eq!(max, p);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # dcode-baselines
+//!
+//! The RAID-6 MDS array codes the D-Code paper compares against, all
+//! expressed as [`dcode_core::layout::CodeLayout`]s so they run through the
+//! same generic encode/decode/simulation machinery as D-Code itself:
+//!
+//! * [`mod@rdp`] — Row-Diagonal Parity (FAST'04), the horizontal baseline;
+//! * [`mod@evenodd`] — EVENODD (1995), bonus horizontal baseline;
+//! * [`xcode`] — X-Code (1999), re-exported from `dcode-core` where it
+//!   backs the Theorem-1 construction;
+//! * [`mod@hcode`] — H-Code (IPDPS'11), reconstructed (DESIGN.md §5);
+//! * [`mod@hdp`] — HDP (DSN'11), reconstructed (DESIGN.md §5);
+//! * [`mod@pcode`] — P-Code, the pair-based vertical code (bonus baseline);
+//! * [`registry`] — name-indexed access to every code, used by the figure
+//!   binaries and examples;
+//! * [`shortened`] — RDP/EVENODD shortened to arbitrary disk counts (the
+//!   flexibility vertical codes like D-Code cannot offer).
+
+pub mod evenodd;
+pub mod hcode;
+pub mod hdp;
+pub mod pcode;
+pub mod rdp;
+pub mod registry;
+pub mod shortened;
+
+pub use dcode_core::dcode::{dcode, xcode};
+pub use evenodd::evenodd;
+pub use hcode::hcode;
+pub use hdp::hdp;
+pub use pcode::pcode;
+pub use rdp::rdp;
+pub use registry::{all_codes, build, CodeId, EVALUATED_CODES};
+pub use shortened::{shortened_evenodd, shortened_rdp};

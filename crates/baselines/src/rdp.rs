@@ -1,0 +1,108 @@
+//! RDP — Row-Diagonal Parity (Corbett et al., FAST'04).
+//!
+//! The canonical *horizontal* RAID-6 code: `p+1` disks (`p` prime), `p−1`
+//! rows. Disks `0..p−1` hold data, disk `p−1` holds row parities, disk `p`
+//! holds diagonal parities. Diagonal `i` (`⟨r+c⟩ₚ = i`) covers both data and
+//! *row-parity* elements — the reason RDP's update complexity exceeds the
+//! optimum and one of the behaviours the D-Code paper's write-cost evaluation
+//! leans on. Diagonal `p−1` is deliberately never stored (the "missing
+//! diagonal" of the RDP construction).
+
+use dcode_core::dcode::ConstructError;
+use dcode_core::equation::EquationKind;
+use dcode_core::grid::Cell;
+use dcode_core::layout::{CodeLayout, LayoutBuilder};
+use dcode_core::modmath::{is_prime, md};
+
+/// Build RDP over `p+1` disks.
+pub fn rdp(p: usize) -> Result<CodeLayout, ConstructError> {
+    if !is_prime(p) {
+        return Err(ConstructError::NotPrime(p));
+    }
+    if p < 3 {
+        return Err(ConstructError::TooSmall(p));
+    }
+    let rows = p - 1;
+    let mut b = LayoutBuilder::new("RDP", p, rows, p + 1);
+
+    // Row parities: disk p−1.
+    for r in 0..rows {
+        let members: Vec<Cell> = (0..p - 1).map(|c| Cell::new(r, c)).collect();
+        b.equation(EquationKind::Row, Cell::new(r, p - 1), members);
+    }
+
+    // Diagonal parities: disk p. Diagonal i covers cells (r, ⟨i−r⟩ₚ) for
+    // r = 0..p−2 whose column lands inside 0..p−1 (columns 0..p−2 are data,
+    // column p−1 is the row parity — both participate).
+    for i in 0..rows {
+        let members: Vec<Cell> = (0..rows)
+            .filter_map(|r| {
+                let c = md(i as i64 - r as i64, p);
+                (c < p).then(|| Cell::new(r, c))
+            })
+            .collect();
+        b.equation(EquationKind::Diagonal, Cell::new(i, p), members);
+    }
+
+    Ok(b.build().expect("RDP construction is structurally valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_core::mds::verify_mds;
+    use dcode_core::metrics::{encode_xors_per_data_element, update_complexity};
+    use dcode_core::PAPER_PRIMES;
+
+    #[test]
+    fn rdp_is_mds_for_paper_primes() {
+        for p in PAPER_PRIMES {
+            verify_mds(&rdp(p).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn shape() {
+        let l = rdp(7).unwrap();
+        assert_eq!(l.disks(), 8);
+        assert_eq!(l.rows(), 6);
+        assert_eq!(l.data_len(), 36);
+        // Dedicated parity disks: p−1 (row) and p (diagonal).
+        assert_eq!(l.parity_count_in_col(6), 6);
+        assert_eq!(l.parity_count_in_col(7), 6);
+        for c in 0..6 {
+            assert_eq!(l.parity_count_in_col(c), 0);
+        }
+    }
+
+    #[test]
+    fn diagonal_covers_row_parity_column() {
+        // The defining RDP quirk: some diagonal equations include row-parity
+        // elements, so updates cascade.
+        let l = rdp(7).unwrap();
+        let covers_parity = l
+            .equations()
+            .iter()
+            .filter(|e| e.kind == EquationKind::Diagonal)
+            .any(|e| e.members.iter().any(|m| m.col == 6));
+        assert!(covers_parity);
+        let (avg, max) = update_complexity(&l);
+        assert!(avg > 2.0, "RDP update complexity should exceed the optimum");
+        assert!(max >= 3);
+    }
+
+    #[test]
+    fn encode_complexity_near_optimal() {
+        // RDP is known to be encoding-optimal asymptotically; sanity-band.
+        for p in PAPER_PRIMES {
+            let x = encode_xors_per_data_element(&rdp(p).unwrap());
+            assert!(x < 2.1, "p={p}: {x}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(rdp(9).is_err());
+        assert!(rdp(2).is_err());
+    }
+}

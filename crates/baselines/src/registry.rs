@@ -1,0 +1,152 @@
+//! Name-indexed access to every code in the workspace.
+//!
+//! The figure-regeneration binaries iterate `EVALUATED_CODES` — the paper's
+//! comparison set (RDP, H-Code, HDP, X-Code, D-Code) in the order the paper
+//! plots them — and build each code for the evaluated primes.
+
+use dcode_core::dcode::{dcode, xcode, ConstructError};
+use dcode_core::layout::CodeLayout;
+
+use crate::evenodd::evenodd;
+use crate::hcode::hcode;
+use crate::hdp::hdp;
+use crate::pcode::pcode;
+use crate::rdp::rdp;
+
+/// Identifier for every code the workspace can build.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CodeId {
+    /// RDP over `p+1` disks.
+    Rdp,
+    /// H-Code over `p+1` disks (reconstruction).
+    HCode,
+    /// HDP over `p−1` disks (reconstruction).
+    Hdp,
+    /// X-Code over `p` disks.
+    XCode,
+    /// D-Code over `p` disks — the paper's contribution.
+    DCode,
+    /// EVENODD over `p+2` disks (bonus baseline).
+    EvenOdd,
+    /// P-Code over `p−1` disks (bonus baseline).
+    PCode,
+}
+
+impl CodeId {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodeId::Rdp => "RDP",
+            CodeId::HCode => "H-Code",
+            CodeId::Hdp => "HDP",
+            CodeId::XCode => "X-Code",
+            CodeId::DCode => "D-Code",
+            CodeId::EvenOdd => "EVENODD",
+            CodeId::PCode => "P-Code",
+        }
+    }
+
+    /// Number of disks this code spans for prime `p`.
+    pub fn disks(self, p: usize) -> usize {
+        match self {
+            CodeId::Rdp | CodeId::HCode => p + 1,
+            CodeId::Hdp => p - 1,
+            CodeId::XCode | CodeId::DCode => p,
+            CodeId::EvenOdd => p + 2,
+            CodeId::PCode => p - 1,
+        }
+    }
+}
+
+/// The paper's comparison set, in its plotting order.
+pub const EVALUATED_CODES: [CodeId; 5] = [
+    CodeId::Rdp,
+    CodeId::HCode,
+    CodeId::Hdp,
+    CodeId::XCode,
+    CodeId::DCode,
+];
+
+/// Every code in the workspace.
+pub const ALL_CODES: [CodeId; 7] = [
+    CodeId::Rdp,
+    CodeId::HCode,
+    CodeId::Hdp,
+    CodeId::XCode,
+    CodeId::DCode,
+    CodeId::EvenOdd,
+    CodeId::PCode,
+];
+
+/// Build one code for prime `p`.
+pub fn build(id: CodeId, p: usize) -> Result<CodeLayout, ConstructError> {
+    match id {
+        CodeId::Rdp => rdp(p),
+        CodeId::HCode => hcode(p),
+        CodeId::Hdp => hdp(p),
+        CodeId::XCode => xcode(p),
+        CodeId::DCode => dcode(p),
+        CodeId::EvenOdd => evenodd(p),
+        CodeId::PCode => pcode(p),
+    }
+}
+
+/// Build every code in the workspace for prime `p`.
+pub fn all_codes(p: usize) -> Vec<CodeLayout> {
+    ALL_CODES
+        .iter()
+        .map(|&id| build(id, p).expect("all registry codes build for evaluated primes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_core::mds::verify_mds;
+    use dcode_core::PAPER_PRIMES;
+
+    #[test]
+    fn every_registered_code_is_mds_for_paper_primes() {
+        for p in PAPER_PRIMES {
+            for &id in &ALL_CODES {
+                let layout = build(id, p).unwrap();
+                verify_mds(&layout).unwrap_or_else(|v| {
+                    panic!("{} (p={p}) failed MDS: {v}", id.name());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn disk_counts_match_the_paper() {
+        // Section IV-A: RDP over p+1, H-Code over p+1, HDP over p−1,
+        // X-Code over p (and D-Code over p).
+        for p in PAPER_PRIMES {
+            for &id in &ALL_CODES {
+                let layout = build(id, p).unwrap();
+                assert_eq!(layout.disks(), id.disks(p), "{}", id.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_match() {
+        for &id in &ALL_CODES {
+            let layout = build(id, 7).unwrap();
+            assert_eq!(layout.name(), id.name());
+        }
+    }
+
+    #[test]
+    fn storage_rate_is_optimal_everywhere() {
+        for p in PAPER_PRIMES {
+            for layout in all_codes(p) {
+                assert!(
+                    dcode_core::mds::storage_is_optimal(&layout),
+                    "{} p={p}",
+                    layout.name()
+                );
+            }
+        }
+    }
+}

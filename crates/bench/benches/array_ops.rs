@@ -1,0 +1,60 @@
+//! Criterion: the array layer — degraded reads, whole-disk rebuild, and
+//! scrubbing over a multi-stripe D-Code array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_array::scrub::scrub_stripe;
+use dcode_array::{Array, RotationScheme};
+use dcode_core::dcode::dcode;
+
+const BLOCK: usize = 16 * 1024;
+const STRIPES: usize = 8;
+
+fn make_array() -> Array {
+    let mut a = Array::new(dcode(7).unwrap(), BLOCK, STRIPES, RotationScheme::PerStripe);
+    let payload: Vec<u8> = (0..a.capacity_bytes()).map(|i| (i % 251) as u8).collect();
+    a.write(0, &payload).unwrap();
+    a
+}
+
+fn bench_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_ops");
+    let healthy = make_array();
+    let elements = healthy.capacity_elements();
+    group.throughput(Throughput::Bytes((elements * BLOCK) as u64));
+
+    group.bench_function(BenchmarkId::new("full_read", "healthy"), |b| {
+        b.iter(|| healthy.read(0, elements).unwrap())
+    });
+
+    let mut degraded = make_array();
+    degraded.fail_disk(2).unwrap();
+    degraded.fail_disk(5).unwrap();
+    group.bench_function(BenchmarkId::new("full_read", "two_failed"), |b| {
+        b.iter(|| degraded.read(0, elements).unwrap())
+    });
+
+    group.bench_function(BenchmarkId::new("rebuild_disk", "one_failed"), |b| {
+        b.iter_batched(
+            || {
+                let mut a = make_array();
+                a.fail_disk(3).unwrap();
+                a
+            },
+            |mut a| a.rebuild_disk(3).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let layout = dcode(7).unwrap();
+    group.bench_function(BenchmarkId::new("scrub_stripe", "clean"), |b| {
+        b.iter_batched(
+            make_array,
+            |mut a| scrub_stripe(&layout, a.stripe_mut(0)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_array);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: double-disk-failure decode throughput for every code
+//! (plan construction + byte reconstruction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_baselines::registry::{build, EVALUATED_CODES};
+use dcode_codec::{apply_plan, encode, Stripe};
+use dcode_core::decoder::plan_column_recovery;
+
+const BLOCK: usize = 64 * 1024;
+const P: usize = 13;
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_double_failure");
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, P).unwrap();
+        let data: Vec<u8> = (0..layout.data_len() * BLOCK)
+            .map(|i| (i * 31) as u8)
+            .collect();
+        let mut stripe = Stripe::from_data(&layout, BLOCK, &data);
+        encode(&layout, &mut stripe);
+        let cols = [0usize, 1];
+        let plan = plan_column_recovery(&layout, &cols).unwrap();
+        group.throughput(Throughput::Bytes((plan.erased.len() * BLOCK) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_bytes", code.name()),
+            &stripe,
+            |b, s| {
+                b.iter_batched(
+                    || {
+                        let mut broken = s.clone();
+                        broken.erase_columns(&cols);
+                        broken
+                    },
+                    |mut broken| apply_plan(&mut broken, &plan),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_function(BenchmarkId::new("plan_only", code.name()), |b| {
+            b.iter(|| plan_column_recovery(&layout, &cols).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: degraded-read planning cost — the per-request optimizer that
+//! chooses reconstruction equations (the hot inner loop of the Figure 7
+//! simulation) — plus the end-to-end accounting of a whole 2000-op workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcode_baselines::registry::{build, EVALUATED_CODES};
+use dcode_iosim::access::{degraded_read_accesses, plan_degraded_segment};
+use dcode_iosim::sim::run_workload;
+use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+
+const P: usize = 13;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degraded_read_planner");
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, P).unwrap();
+        group.bench_function(BenchmarkId::new("plan_len16", code.name()), |b| {
+            b.iter(|| plan_degraded_segment(&layout, 5, 16, 2))
+        });
+        group.bench_function(BenchmarkId::new("accesses_len16", code.name()), |b| {
+            b.iter(|| degraded_read_accesses(&layout, 5, 16, 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_accounting");
+    group.sample_size(10);
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, P).unwrap();
+        let ops = generate(
+            WorkloadKind::Mixed,
+            layout.data_len(),
+            WorkloadParams::default(),
+            7,
+        );
+        group.bench_function(BenchmarkId::new("mixed_2000ops", code.name()), |b| {
+            b.iter(|| run_workload(&layout, &ops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner, bench_workload);
+criterion_main!(benches);

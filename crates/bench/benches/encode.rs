@@ -1,0 +1,70 @@
+//! Criterion: full-stripe encode throughput for every code, all three
+//! backends (sequential equations, crossbeam-parallel, GF(2) bit-matrix).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_baselines::registry::{build, CodeId, EVALUATED_CODES};
+use dcode_codec::{encode, encode_parallel, encode_with_matrix, generator_matrix, Stripe};
+
+const BLOCK: usize = 64 * 1024;
+const P: usize = 13;
+
+fn payload(len: usize) -> Vec<u8> {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, P).unwrap();
+        let data = payload(layout.data_len() * BLOCK);
+        let stripe = Stripe::from_data(&layout, BLOCK, &data);
+        group.throughput(Throughput::Bytes((layout.data_len() * BLOCK) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential", code.name()),
+            &stripe,
+            |b, s| {
+                b.iter_batched(
+                    || s.clone(),
+                    |mut s| encode(&layout, &mut s),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel4", code.name()),
+            &stripe,
+            |b, s| {
+                b.iter_batched(
+                    || s.clone(),
+                    |mut s| encode_parallel(&layout, &mut s, 4),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        let matrix = generator_matrix(&layout);
+        group.bench_with_input(
+            BenchmarkId::new("bitmatrix", code.name()),
+            &stripe,
+            |b, s| {
+                b.iter_batched(
+                    || s.clone(),
+                    |mut s| encode_with_matrix(&layout, &matrix, &mut s),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+    let _ = CodeId::DCode;
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion: the single-disk recovery optimizer — conventional planning vs
+//! the exhaustive hybrid search (2^(n−2) assignments at D-Code scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcode_baselines::registry::{build, CodeId};
+use dcode_recovery::{conventional_rebuild, measure_savings, optimal_rebuild};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_optimizer");
+    for p in [7usize, 11, 13] {
+        let layout = build(CodeId::DCode, p).unwrap();
+        group.bench_function(BenchmarkId::new("conventional", p), |b| {
+            b.iter(|| conventional_rebuild(&layout, 0))
+        });
+        group.bench_function(BenchmarkId::new("optimal_exhaustive", p), |b| {
+            b.iter(|| optimal_rebuild(&layout, 0))
+        });
+    }
+    // The full savings measurement (every disk) at the paper's largest prime.
+    let layout = build(CodeId::DCode, 13).unwrap();
+    group.sample_size(10);
+    group.bench_function("measure_savings_p13", |b| {
+        b.iter(|| measure_savings(&layout))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: parity scrubbing — full-stripe verification and
+//! single-corruption localization + repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_array::scrub::{failing_equations, scrub_stripe};
+use dcode_baselines::registry::{build, CodeId};
+use dcode_codec::{encode, Stripe};
+use dcode_core::grid::Cell;
+
+const BLOCK: usize = 64 * 1024;
+
+fn bench_scrub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scrub");
+    for p in [7usize, 13] {
+        let layout = build(CodeId::DCode, p).unwrap();
+        let payload: Vec<u8> = (0..layout.data_len() * BLOCK)
+            .map(|i| (i * 31) as u8)
+            .collect();
+        let mut stripe = Stripe::from_data(&layout, BLOCK, &payload);
+        encode(&layout, &mut stripe);
+        group.throughput(Throughput::Bytes((layout.grid().len() * BLOCK) as u64));
+
+        group.bench_function(BenchmarkId::new("verify_clean", p), |b| {
+            b.iter(|| failing_equations(&layout, &stripe))
+        });
+
+        group.bench_function(BenchmarkId::new("localize_and_repair", p), |b| {
+            b.iter_batched(
+                || {
+                    let mut s = stripe.clone();
+                    s.block_mut(Cell::new(1, 2))[5] ^= 0x40;
+                    s
+                },
+                |mut s| scrub_stripe(&layout, &mut s),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scrub);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: partial-stripe write (read-modify-write) throughput for every
+//! code. The element-I/O counts behind Figure 5 translate directly into the
+//! byte work measured here: codes whose continuous elements share parities
+//! (D-Code, RDP, H-Code) move fewer parity bytes per written element.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_baselines::registry::{build, EVALUATED_CODES};
+use dcode_codec::{encode, write_logical, Stripe};
+
+const BLOCK: usize = 64 * 1024;
+const P: usize = 13;
+const WRITE_ELEMENTS: usize = 8;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_stripe_write");
+    let new_bytes: Vec<u8> = (0..WRITE_ELEMENTS * BLOCK)
+        .map(|i| (i * 131) as u8)
+        .collect();
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, P).unwrap();
+        let data: Vec<u8> = (0..layout.data_len() * BLOCK)
+            .map(|i| (i * 31) as u8)
+            .collect();
+        let mut stripe = Stripe::from_data(&layout, BLOCK, &data);
+        encode(&layout, &mut stripe);
+        group.throughput(Throughput::Bytes((WRITE_ELEMENTS * BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("write8", code.name()), &stripe, |b, s| {
+            b.iter_batched(
+                || s.clone(),
+                |mut s| write_logical(&layout, &mut s, 3, &new_bytes),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: the raw XOR kernels underlying every encode/decode path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_codec::xor::{xor_into, xor_many_into};
+
+fn bench_xor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_kernel");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let src: Vec<u8> = (0..size).map(|i| (i * 37) as u8).collect();
+        let mut dst: Vec<u8> = (0..size).map(|i| (i * 11) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("xor_into", size), &size, |b, _| {
+            b.iter(|| xor_into(&mut dst, &src))
+        });
+
+        let sources: Vec<Vec<u8>> = (0..11)
+            .map(|k| (0..size).map(|i| ((i + k) * 13) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = sources.iter().map(|v| v.as_slice()).collect();
+        group.bench_with_input(BenchmarkId::new("xor_many_11", size), &size, |b, _| {
+            b.iter(|| xor_many_into(&mut dst, &refs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion: XOR array codes vs Reed–Solomon P+Q — the paper's implicit
+//! computational premise, measured. Encodes the same amount of user data
+//! (one D-Code stripe's worth) through D-Code's XOR equations and through
+//! GF(2⁸) P+Q, and decodes a comparable double loss through both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcode_codec::rs::{Erasure, RsRaid6};
+use dcode_codec::{apply_plan, encode, Stripe};
+use dcode_core::dcode::dcode;
+use dcode_core::decoder::plan_column_recovery;
+
+const BLOCK: usize = 64 * 1024;
+const P: usize = 13;
+
+fn payload_block(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 30) as u8
+        })
+        .collect()
+}
+
+fn bench_xor_vs_rs(c: &mut Criterion) {
+    let layout = dcode(P).unwrap();
+    let data_bytes = layout.data_len() * BLOCK;
+
+    // Reed–Solomon group carrying the same user data with the same number
+    // of data "disks"... P+Q over k = P−2 data blocks per stripe-row worth,
+    // scaled so total data matches: use k = 11 blocks of equal size.
+    let k = P - 2;
+    let rs_block = data_bytes / k;
+    let rs = RsRaid6::new(k, rs_block);
+    let rs_data: Vec<Vec<u8>> = (0..k).map(|i| payload_block(i as u64, rs_block)).collect();
+
+    let mut group = c.benchmark_group("xor_vs_rs");
+    group.throughput(Throughput::Bytes(data_bytes as u64));
+
+    let stripe = {
+        let payload = payload_block(99, data_bytes);
+        Stripe::from_data(&layout, BLOCK, &payload)
+    };
+    group.bench_function(BenchmarkId::new("encode", "D-Code"), |b| {
+        b.iter_batched(
+            || stripe.clone(),
+            |mut s| encode(&layout, &mut s),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("encode", "RS-P+Q"), |b| {
+        b.iter(|| rs.encode(&rs_data))
+    });
+
+    // Decode a double data loss.
+    let mut encoded = stripe.clone();
+    encode(&layout, &mut encoded);
+    let plan = plan_column_recovery(&layout, &[0, 1]).unwrap();
+    group.bench_function(BenchmarkId::new("decode_two_lost", "D-Code"), |b| {
+        b.iter_batched(
+            || {
+                let mut s = encoded.clone();
+                s.erase_columns(&[0, 1]);
+                s
+            },
+            |mut s| apply_plan(&mut s, &plan),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let (p_blk, q_blk) = rs.encode(&rs_data);
+    group.bench_function(BenchmarkId::new("decode_two_lost", "RS-P+Q"), |b| {
+        b.iter_batched(
+            || {
+                let mut d = rs_data.clone();
+                d[0].fill(0);
+                d[1].fill(0);
+                (d, p_blk.clone(), q_blk.clone())
+            },
+            |(mut d, mut pp, mut qq)| rs.decode(&mut d, &mut pp, &mut qq, Erasure::TwoData(0, 1)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor_vs_rs);
+criterion_main!(benches);

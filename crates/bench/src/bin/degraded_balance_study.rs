@@ -1,0 +1,67 @@
+//! Extension study: load balance *while degraded* — the surviving disks
+//! absorb the failed disk's traffic plus reconstruction reads; how evenly
+//! depends on the parity geometry.
+
+use dcode_bench::prelude::*;
+use dcode_iosim::sim::run_workload_degraded;
+use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+
+fn main() {
+    let seed = seed_from_args();
+    let mut csv_rows = Vec::new();
+    for &p in &[7usize, 13] {
+        println!("\n=== Degraded-mode LF, read-only workload, p = {p} (worst / mean over failure cases) ===");
+        let mut table = Table::new(&["code", "mean LF", "worst LF"]);
+        for &code in &EVALUATED_CODES {
+            let layout = build(code, p).unwrap();
+            let ops = generate(
+                WorkloadKind::ReadOnly,
+                layout.data_len(),
+                WorkloadParams {
+                    n_ops: 500,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let mut lfs = Vec::new();
+            for failed in 0..layout.disks() {
+                if layout.data_count_in_col(failed) == 0 {
+                    continue; // paper's convention: data-disk failure cases
+                }
+                let res = run_workload_degraded(&layout, &ops, failed);
+                // The failed disk serves nothing; compute LF over survivors.
+                let survivors: Vec<u64> = res
+                    .accesses
+                    .per_disk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(d, _)| d != failed)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let max = *survivors.iter().max().unwrap() as f64;
+                let min = *survivors.iter().min().unwrap() as f64;
+                lfs.push(if min == 0.0 { f64::INFINITY } else { max / min });
+            }
+            let mean = lfs.iter().sum::<f64>() / lfs.len() as f64;
+            let worst = lfs.iter().copied().fold(0.0, f64::max);
+            let fmt = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.2}")
+                } else {
+                    "inf".into()
+                }
+            };
+            table.row(vec![code.name().to_string(), fmt(mean), fmt(worst)]);
+            csv_rows.push(format!(
+                "{},{},{:.4},{:.4}",
+                code.name(),
+                p,
+                if mean.is_finite() { mean } else { -1.0 },
+                if worst.is_finite() { worst } else { -1.0 }
+            ));
+        }
+        table.print();
+    }
+    let path = write_csv("degraded_balance.csv", "code,p,mean_lf,worst_lf", &csv_rows);
+    println!("\nCSV written to {}", path.display());
+}

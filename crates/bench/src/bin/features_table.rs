@@ -1,0 +1,72 @@
+//! Section III-D feature table — the paper's complexity claims, measured
+//! directly from every code's equation system:
+//!
+//! * storage efficiency (MDS-optimal data fraction),
+//! * encoding XORs per data element (optimum `2 − 2/(n−2)`),
+//! * decoding XORs per lost element (optimum `n − 3`),
+//! * update complexity (optimum exactly 2).
+
+use dcode_baselines::registry::ALL_CODES;
+use dcode_bench::prelude::*;
+use dcode_core::metrics::measure;
+
+fn main() {
+    let mut csv_rows = Vec::new();
+    for &p in &PRIMES {
+        println!("\n=== Feature comparison at p = {p} ===");
+        let mut table = Table::new(&[
+            "code",
+            "disks",
+            "data",
+            "parity",
+            "rate",
+            "MDS-rate?",
+            "enc XOR/el",
+            "dec XOR/lost",
+            "upd avg",
+            "upd max",
+        ]);
+        for &code in &ALL_CODES {
+            let layout = build(code, p).expect("codes build for paper primes");
+            let m = measure(&layout);
+            table.row(vec![
+                m.name.clone(),
+                m.disks.to_string(),
+                m.data_elements.to_string(),
+                m.parity_elements.to_string(),
+                format!("{:.3}", m.storage_rate),
+                if m.storage_optimal { "yes" } else { "NO" }.to_string(),
+                format!("{:.3}", m.encode_xors_per_data_element),
+                format!("{:.3}", m.decode_xors_per_lost_element),
+                format!("{:.3}", m.avg_update_complexity),
+                m.max_update_complexity.to_string(),
+            ]);
+            csv_rows.push(format!(
+                "{},{},{},{},{:.4},{},{:.4},{:.4},{:.4},{}",
+                m.name,
+                p,
+                m.data_elements,
+                m.parity_elements,
+                m.storage_rate,
+                m.storage_optimal,
+                m.encode_xors_per_data_element,
+                m.decode_xors_per_lost_element,
+                m.avg_update_complexity,
+                m.max_update_complexity
+            ));
+        }
+        table.print();
+        let opt_enc = 2.0 - 2.0 / (p as f64 - 2.0);
+        println!(
+            "(optima for a {p}-disk vertical code: encode {opt_enc:.3} XOR/element, \
+             decode {} XOR/lost element, update complexity 2)",
+            p - 3
+        );
+    }
+    let path = write_csv(
+        "features.csv",
+        "code,p,data,parity,rate,mds_optimal,enc_xor_per_el,dec_xor_per_lost,upd_avg,upd_max",
+        &csv_rows,
+    );
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! Figure 4 — load-balancing factor for the five codes under the three
+//! workloads, p ∈ {5, 7, 11, 13}.
+//!
+//! Paper reference points: RDP badly balanced everywhere (∞ under
+//! read-only); H-Code ∞ under read-only, LF ≈ 2.61/2.35/2.07/1.97 under
+//! read-intensive, 1.38–1.63 under mixed; HDP, X-Code, D-Code all close
+//! to 1 (1.03–1.07 under mixed).
+
+use dcode_bench::prelude::*;
+use dcode_iosim::metrics::lf_display;
+use dcode_iosim::sim::run_workload;
+use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+
+fn main() {
+    let seed = seed_from_args();
+    let mut csv_rows = Vec::new();
+    for (w_idx, &workload) in WorkloadKind::ALL.iter().enumerate() {
+        let part = ['a', 'b', 'c'][w_idx];
+        println!("\nFigure 4({part}): {} Workload", workload.name());
+        let mut table = Table::new(&["code", "p=5", "p=7", "p=11", "p=13"]);
+        let mut chart_series = Vec::new();
+        for &code in &EVALUATED_CODES {
+            let mut cells = vec![code.name().to_string()];
+            let mut values = Vec::new();
+            for &p in &PRIMES {
+                let layout = build(code, p).expect("paper codes build for paper primes");
+                let ops = generate(
+                    workload,
+                    layout.data_len(),
+                    WorkloadParams::default(),
+                    seed ^ (p as u64) << 8 ^ w_idx as u64,
+                );
+                let res = run_workload(&layout, &ops);
+                let lf = res.lf();
+                cells.push(if lf.is_finite() {
+                    format!("{lf:.2}")
+                } else {
+                    "inf".to_string()
+                });
+                values.push(lf);
+                csv_rows.push(format!(
+                    "{},{},{},{:.4}",
+                    workload.name(),
+                    code.name(),
+                    p,
+                    lf_display(lf)
+                ));
+            }
+            chart_series.push(Series {
+                name: code.name().to_string(),
+                values,
+            });
+            table.row(cells);
+        }
+        table.print();
+        let chart = BarChart {
+            title: format!("Figure 4({part}): LF, {} Workload", workload.name()),
+            y_label: "load balancing factor".into(),
+            x_labels: PRIMES.iter().map(|p| format!("p={p}")).collect(),
+            series: chart_series,
+            // The paper caps the y axis at 30 to represent infinity; cap
+            // per-panel for readability like its per-plot scales.
+            y_cap: Some(if w_idx == 0 { 30.0 } else { 8.0 }),
+        };
+        let svg = chart.save(&format!("fig4{part}_load_balancing"));
+        println!("SVG written to {}", svg.display());
+    }
+    let path = write_csv("fig4_load_balancing.csv", "workload,code,p,lf", &csv_rows);
+    println!("\nCSV written to {}", path.display());
+}

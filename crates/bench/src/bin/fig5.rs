@@ -1,0 +1,83 @@
+//! Figure 5 — total I/O cost for the five codes under the three workloads,
+//! p ∈ {5, 7, 11, 13}.
+//!
+//! Paper reference points: identical cost for all codes under read-only;
+//! under read-intensive and mixed workloads HDP and X-Code cost much more
+//! (at p=13, D-Code is 16.0%/15.3% below HDP/X-Code read-intensive and
+//! 23.1%/22.2% below under mixed), while RDP and H-Code end up at most
+//! 3.4% below D-Code thanks to their extra disk.
+
+use dcode_bench::prelude::*;
+use dcode_iosim::sim::run_workload;
+use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+
+fn main() {
+    let seed = seed_from_args();
+    let mut csv_rows = Vec::new();
+    for (w_idx, &workload) in WorkloadKind::ALL.iter().enumerate() {
+        println!(
+            "\nFigure 5({}): {} Workload",
+            ['a', 'b', 'c'][w_idx],
+            workload.name()
+        );
+        let mut table = Table::new(&["code", "p=5", "p=7", "p=11", "p=13"]);
+        let mut dcode_costs = [0u64; 4];
+        let mut rows_buf: Vec<(CodeId, Vec<u64>)> = Vec::new();
+        for &code in &EVALUATED_CODES {
+            let mut costs = Vec::new();
+            for (pi, &p) in PRIMES.iter().enumerate() {
+                let layout = build(code, p).expect("paper codes build for paper primes");
+                let ops = generate(
+                    workload,
+                    layout.data_len(),
+                    WorkloadParams::default(),
+                    seed ^ (p as u64) << 8 ^ w_idx as u64,
+                );
+                let res = run_workload(&layout, &ops);
+                if code == CodeId::DCode {
+                    dcode_costs[pi] = res.cost();
+                }
+                csv_rows.push(format!(
+                    "{},{},{},{}",
+                    workload.name(),
+                    code.name(),
+                    p,
+                    res.cost()
+                ));
+                costs.push(res.cost());
+            }
+            rows_buf.push((code, costs));
+        }
+        let mut chart_series = Vec::new();
+        for (code, costs) in rows_buf {
+            let mut cells = vec![code.name().to_string()];
+            for (pi, &c) in costs.iter().enumerate() {
+                let rel = if dcode_costs[pi] > 0 {
+                    100.0 * (c as f64 - dcode_costs[pi] as f64) / dcode_costs[pi] as f64
+                } else {
+                    0.0
+                };
+                cells.push(format!("{c} ({rel:+.1}%)"));
+            }
+            chart_series.push(Series {
+                name: code.name().to_string(),
+                values: costs.iter().map(|&c| c as f64).collect(),
+            });
+            table.row(cells);
+        }
+        table.print();
+        println!("(percentages are relative to D-Code)");
+        let part = ['a', 'b', 'c'][w_idx];
+        let chart = BarChart {
+            title: format!("Figure 5({part}): I/O cost, {} Workload", workload.name()),
+            y_label: "total I/O cost (element accesses)".into(),
+            x_labels: PRIMES.iter().map(|p| format!("p={p}")).collect(),
+            series: chart_series,
+            y_cap: None,
+        };
+        let svg = chart.save(&format!("fig5{part}_io_cost"));
+        println!("SVG written to {}", svg.display());
+    }
+    let path = write_csv("fig5_io_cost.csv", "workload,code,p,cost", &csv_rows);
+    println!("\nCSV written to {}", path.display());
+}

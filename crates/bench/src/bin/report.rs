@@ -1,0 +1,112 @@
+//! Collect everything under `target/figures/` into one self-contained HTML
+//! report: every SVG chart inline, every CSV as a table. Run the figure
+//! and study binaries first (or let this binary run the core four for you
+//! with `--full`).
+
+use dcode_bench::figures_dir;
+use std::fmt::Write as _;
+use std::process::Command;
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn csv_to_table(text: &str) -> String {
+    let mut out = String::from("<table>");
+    for (i, line) in text.lines().enumerate() {
+        let tag = if i == 0 { "th" } else { "td" };
+        let _ = write!(out, "<tr>");
+        for cell in line.split(',') {
+            let _ = write!(out, "<{tag}>{}</{tag}>", html_escape(cell));
+        }
+        let _ = write!(out, "</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    if full {
+        // Regenerate the headline figures so the report is fresh.
+        for bin in [
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "sharing_analysis",
+            "recovery_savings",
+        ] {
+            let status =
+                Command::new(std::env::current_exe().unwrap().with_file_name(bin)).status();
+            match status {
+                Ok(s) if s.success() => println!("ran {bin}"),
+                other => eprintln!("warning: could not run {bin}: {other:?}"),
+            }
+        }
+    }
+
+    let dir = figures_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("target/figures exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+
+    let mut html = String::from(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>D-Code reproduction report</title><style>\
+         body{font-family:sans-serif;max-width:900px;margin:2em auto;padding:0 1em}\
+         table{border-collapse:collapse;margin:1em 0;font-size:13px}\
+         td,th{border:1px solid #ccc;padding:3px 8px;text-align:right}\
+         th{background:#f0f0f0}\
+         h2{border-bottom:2px solid #4477aa;padding-bottom:4px;margin-top:2em}\
+         details{margin:0.5em 0}\
+         svg{max-width:100%;height:auto}\
+         </style></head><body>\
+         <h1>D-Code reproduction — figure & study report</h1>\
+         <p>Generated from <code>target/figures/</code>. See EXPERIMENTS.md \
+         for paper-vs-measured verdicts.</p>",
+    );
+
+    let svg_count = entries
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "svg"))
+        .count();
+    let csv_count = entries
+        .iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .count();
+
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("svg") => {
+                let svg = std::fs::read_to_string(path).expect("readable SVG");
+                let _ = write!(html, "<h2>{}</h2>{}", html_escape(&name), svg);
+            }
+            Some("csv") => {
+                let csv = std::fs::read_to_string(path).expect("readable CSV");
+                let _ = write!(
+                    html,
+                    "<details><summary><b>{}</b> ({} rows)</summary>{}</details>",
+                    html_escape(&name),
+                    csv.lines().count().saturating_sub(1),
+                    csv_to_table(&csv)
+                );
+            }
+            _ => {}
+        }
+    }
+    html.push_str("</body></html>");
+
+    let out = dir.join("report.html");
+    std::fs::write(&out, html).expect("write report");
+    println!(
+        "report with {svg_count} charts and {csv_count} tables written to {}",
+        out.display()
+    );
+}

@@ -1,0 +1,89 @@
+//! Section II study: why RAID-5-style stripe rotation cannot substitute for
+//! a balanced code.
+//!
+//! The paper: "some global load balancing methods such as rotating the
+//! mappings from logic disks to physical disks stripe by stripe may
+//! alleviate the unbalanced I/O in some level, but they cannot balance the
+//! I/O accesses on the same stripe … due to the fact that each stripe has
+//! different access frequencies." This binary measures the load-balancing
+//! factor of RDP and D-Code, with and without rotation, as stripe
+//! popularity skews from uniform to a single hot stripe.
+
+use dcode_array::loadstudy::{lf, physical_loads, StripeSkew};
+use dcode_array::rotation::RotationScheme;
+use dcode_bench::prelude::*;
+use dcode_iosim::sim::run_workload;
+use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+
+fn main() {
+    let seed = seed_from_args();
+    let p = 11;
+    let n_stripes = 44; // multiple of every disk count involved
+    let skews = [
+        ("uniform", StripeSkew::Uniform),
+        ("zipf 1.0", StripeSkew::Zipf(1.0)),
+        ("zipf 2.0", StripeSkew::Zipf(2.0)),
+        ("one hot stripe", StripeSkew::SingleHot),
+    ];
+
+    let mut csv_rows = Vec::new();
+    for &code in &[CodeId::Rdp, CodeId::HCode, CodeId::DCode] {
+        let layout = build(code, p).unwrap();
+        // Per-logical-column load of a mixed workload on one stripe.
+        let ops = generate(
+            WorkloadKind::Mixed,
+            layout.data_len(),
+            WorkloadParams::default(),
+            seed,
+        );
+        let per_col: Vec<f64> = run_workload(&layout, &ops)
+            .accesses
+            .per_disk
+            .iter()
+            .map(|&x| x as f64)
+            .collect();
+
+        println!(
+            "\n{} (p={p}, mixed workload): LF of the physical disks",
+            code.name()
+        );
+        let mut table = Table::new(&["stripe popularity", "no rotation", "per-stripe rotation"]);
+        for (name, skew) in skews {
+            let unrot = lf(&physical_loads(
+                &layout,
+                &per_col,
+                RotationScheme::None,
+                n_stripes,
+                skew,
+            ));
+            let rot = lf(&physical_loads(
+                &layout,
+                &per_col,
+                RotationScheme::PerStripe,
+                n_stripes,
+                skew,
+            ));
+            let fmt = |v: f64| {
+                if v.is_finite() {
+                    format!("{v:.2}")
+                } else {
+                    "inf".to_string()
+                }
+            };
+            table.row(vec![name.to_string(), fmt(unrot), fmt(rot)]);
+            csv_rows.push(format!("{},{name},{:.4},{:.4}", code.name(), unrot, rot));
+        }
+        table.print();
+    }
+    println!(
+        "\nRotation rescues unbalanced codes only under uniform stripe access; \
+         as popularity skews toward a hot stripe it converges back to the \
+         unrotated imbalance. A balanced code (D-Code) needs no rescue."
+    );
+    let path = write_csv(
+        "rotation_study.csv",
+        "code,skew,lf_unrotated,lf_rotated",
+        &csv_rows,
+    );
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! Extension study: do the paper's p ≤ 13 trends continue at larger array
+//! sizes? Runs the Figure 4/5 pipeline at p up to 29 (D-Code spans 29
+//! disks there) using the parallel workload runner.
+
+use dcode_bench::prelude::*;
+use dcode_iosim::sim::run_workload_parallel;
+use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+
+const BIG_PRIMES: [usize; 7] = [5, 7, 11, 13, 17, 23, 29];
+
+fn main() {
+    let seed = seed_from_args();
+    let mut csv_rows = Vec::new();
+    println!("=== Mixed-workload LF and I/O cost up to p = 29 ===");
+    for &code in &EVALUATED_CODES {
+        println!("\n{}:", code.name());
+        let mut table = Table::new(&["p", "disks", "LF", "cost vs D-Code"]);
+        for &p in &BIG_PRIMES {
+            let layout = build(code, p).expect("all codes build at these primes");
+            let ops = generate(
+                WorkloadKind::Mixed,
+                layout.data_len(),
+                WorkloadParams {
+                    n_ops: 1000,
+                    ..Default::default()
+                },
+                seed ^ p as u64,
+            );
+            let res = run_workload_parallel(&layout, &ops, 4);
+            let dlayout = build(CodeId::DCode, p).unwrap();
+            let dops = generate(
+                WorkloadKind::Mixed,
+                dlayout.data_len(),
+                WorkloadParams {
+                    n_ops: 1000,
+                    ..Default::default()
+                },
+                seed ^ p as u64,
+            );
+            let dcost = run_workload_parallel(&dlayout, &dops, 4).cost() as f64;
+            let rel = 100.0 * (res.cost() as f64 - dcost) / dcost;
+            let lf = if res.lf().is_finite() {
+                format!("{:.2}", res.lf())
+            } else {
+                "inf".into()
+            };
+            table.row(vec![
+                p.to_string(),
+                layout.disks().to_string(),
+                lf,
+                format!("{rel:+.1}%"),
+            ]);
+            csv_rows.push(format!(
+                "{},{},{},{:.4},{}",
+                code.name(),
+                p,
+                layout.disks(),
+                dcode_iosim::metrics::lf_display(res.lf()),
+                res.cost()
+            ));
+        }
+        table.print();
+    }
+    let path = write_csv("scalability_study.csv", "code,p,disks,lf,cost", &csv_rows);
+    println!("\nCSV written to {}", path.display());
+}

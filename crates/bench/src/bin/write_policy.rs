@@ -1,0 +1,63 @@
+//! Extension study: read-modify-write vs reconstruct-write element I/Os as
+//! the write length grows — the classic small-write trade-off, per code.
+//! Codes whose continuous elements share parities (D-Code, RDP, H-Code)
+//! keep RMW cheap for longer; diagonal-only codes (X-Code) hit the
+//! reconstruct-write crossover earlier.
+
+use dcode_bench::prelude::*;
+use dcode_codec::reconstruct_write_ios;
+use dcode_core::layout::CodeLayout;
+
+fn rmw_ios(layout: &CodeLayout, start: usize, count: usize) -> usize {
+    let cells: Vec<_> = (start..start + count)
+        .map(|i| layout.logical_to_cell(i))
+        .collect();
+    2 * (count + layout.update_closure(&cells).len())
+}
+
+fn main() {
+    let p = 11;
+    let mut csv_rows = Vec::new();
+    println!("=== Element I/Os per write of L continuous elements (p = {p}, start 0) ===\n");
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, p).unwrap();
+        let lens: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64]
+            .into_iter()
+            .filter(|&l| l <= layout.data_len())
+            .collect();
+        let mut table_header = vec!["L"];
+        table_header.extend(["RMW", "reconstruct", "winner"]);
+        println!(
+            "{} ({} data elements per stripe):",
+            code.name(),
+            layout.data_len()
+        );
+        let mut table = Table::new(&table_header);
+        let mut crossover: Option<usize> = None;
+        for &l in &lens {
+            let rmw = rmw_ios(&layout, 0, l);
+            let rcw = reconstruct_write_ios(&layout, 0, l);
+            if rcw < rmw && crossover.is_none() {
+                crossover = Some(l);
+            }
+            table.row(vec![
+                l.to_string(),
+                rmw.to_string(),
+                rcw.to_string(),
+                if rmw <= rcw { "RMW" } else { "reconstruct" }.to_string(),
+            ]);
+            csv_rows.push(format!("{},{},{},{},{}", code.name(), p, l, rmw, rcw));
+        }
+        table.print();
+        match crossover {
+            Some(l) => println!("  → reconstruct-write wins from L = {l}\n"),
+            None => println!("  → RMW wins at every tested length\n"),
+        }
+    }
+    let path = write_csv(
+        "write_policy.csv",
+        "code,p,len,rmw_ios,reconstruct_ios",
+        &csv_rows,
+    );
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,249 @@
+//! Minimal SVG chart rendering — dependency-free grouped bar charts, so the
+//! figure binaries can emit an actual picture of each reproduced figure
+//! next to its CSV.
+
+use std::fmt::Write as _;
+
+/// One plotted series (a code, in the paper's figures).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One value per x-axis group; `f64::NAN` renders as a capped bar with
+    /// an ∞ marker (the paper plots infinite LF at the y-axis cap).
+    pub values: Vec<f64>,
+}
+
+/// A grouped bar chart in the style of the paper's figures.
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis group labels (the primes).
+    pub x_labels: Vec<String>,
+    /// The series (the codes).
+    pub series: Vec<Series>,
+    /// Optional y-axis cap; values beyond it (and NaN) are clamped and
+    /// marked.
+    pub y_cap: Option<f64>,
+}
+
+/// A qualitative palette readable on white (one per code).
+const PALETTE: [&str; 7] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+];
+
+impl BarChart {
+    /// Render to a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        assert!(!self.series.is_empty() && !self.x_labels.is_empty());
+        for s in &self.series {
+            assert_eq!(
+                s.values.len(),
+                self.x_labels.len(),
+                "series '{}' arity mismatch",
+                s.name
+            );
+        }
+        let (w, h) = (760f64, 420f64);
+        let (ml, mr, mt, mb) = (70f64, 150f64, 50f64, 55f64);
+        let plot_w = w - ml - mr;
+        let plot_h = h - mt - mb;
+
+        let finite_max = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter())
+            .filter(|v| v.is_finite())
+            .fold(0f64, |a, &b| a.max(b));
+        let y_max = match self.y_cap {
+            Some(cap) => cap,
+            None => {
+                if finite_max <= 0.0 {
+                    1.0
+                } else {
+                    finite_max * 1.1
+                }
+            }
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="28" font-size="16" text-anchor="middle" font-weight="bold">{}</text>"#,
+            ml + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Y axis: 5 ticks with grid lines.
+        for t in 0..=5 {
+            let v = y_max * t as f64 / 5.0;
+            let y = mt + plot_h - plot_h * t as f64 / 5.0;
+            let _ = write!(
+                svg,
+                r##"<line x1="{ml}" y1="{y}" x2="{}" y2="{y}" stroke="#dddddd"/>"##,
+                ml + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"#,
+                ml - 6.0,
+                y + 4.0,
+                trim_num(v)
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Bars.
+        let groups = self.x_labels.len() as f64;
+        let group_w = plot_w / groups;
+        let bar_w = group_w * 0.8 / self.series.len() as f64;
+        for (g, label) in self.x_labels.iter().enumerate() {
+            let gx = ml + group_w * g as f64;
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+                gx + group_w / 2.0,
+                mt + plot_h + 18.0,
+                xml_escape(label)
+            );
+            for (si, s) in self.series.iter().enumerate() {
+                let v = s.values[g];
+                let clamped = if v.is_finite() { v.min(y_max) } else { y_max };
+                let bh = plot_h * clamped / y_max;
+                let x = gx + group_w * 0.1 + bar_w * si as f64;
+                let y = mt + plot_h - bh;
+                let color = PALETTE[si % PALETTE.len()];
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bh:.1}" fill="{color}"/>"#,
+                    bar_w * 0.92
+                );
+                if !v.is_finite() || v > y_max {
+                    let _ = write!(
+                        svg,
+                        r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">∞</text>"#,
+                        x + bar_w / 2.0,
+                        y - 3.0
+                    );
+                }
+            }
+        }
+
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+            mt + plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            mt + plot_h,
+            ml + plot_w,
+            mt + plot_h
+        );
+
+        // Legend.
+        for (si, s) in self.series.iter().enumerate() {
+            let y = mt + 18.0 * si as f64;
+            let x = ml + plot_w + 12.0;
+            let color = PALETTE[si % PALETTE.len()];
+            let _ = write!(
+                svg,
+                r#"<rect x="{x}" y="{y}" width="12" height="12" fill="{color}"/>"#
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                x + 17.0,
+                y + 10.0,
+                xml_escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Render and write to `target/figures/<name>.svg`, returning the path.
+    pub fn save(&self, name: &str) -> std::path::PathBuf {
+        let path = crate::figures_dir().join(format!("{name}.svg"));
+        std::fs::write(&path, self.render_svg()).expect("write SVG");
+        path
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn trim_num(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart {
+            title: "test & chart".into(),
+            y_label: "LF".into(),
+            x_labels: vec!["p=5".into(), "p=7".into()],
+            series: vec![
+                Series {
+                    name: "RDP".into(),
+                    values: vec![f64::INFINITY, 3.0],
+                },
+                Series {
+                    name: "D-Code".into(),
+                    values: vec![1.0, 1.1],
+                },
+            ],
+            y_cap: Some(30.0),
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_shell() {
+        let svg = chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Escaped title, both legends, an infinity marker.
+        assert!(svg.contains("test &amp; chart"));
+        assert!(svg.contains("RDP"));
+        assert!(svg.contains("D-Code"));
+        assert!(svg.contains('∞'));
+        // 2 groups × 2 series bars + 2 legend swatches + background.
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut c = chart();
+        c.series[0].values.pop();
+        let _ = c.render_svg();
+    }
+}

@@ -1,0 +1,456 @@
+//! The CLI's operations, as library functions so they are directly
+//! testable. Each takes the array directory and returns a human-readable
+//! summary on success.
+
+use crate::diskio::{disk_path, layout_of, read_disks, write_disks, write_one_disk};
+use crate::meta::ArrayMeta;
+use dcode_array::scrub::{scrub_stripe, ScrubReport};
+use dcode_baselines::registry::CodeId;
+use dcode_codec::{apply_plan, encode, verify_parities, Stripe};
+use dcode_core::decoder::plan_column_recovery;
+use std::fmt;
+use std::path::Path;
+
+/// CLI operation errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Metadata problems.
+    Meta(crate::meta::MetaError),
+    /// The requested operation is impossible in the array's current state.
+    State(String),
+    /// Bad user input.
+    Usage(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Meta(e) => write!(f, "{e}"),
+            CliError::State(s) | CliError::Usage(s) => f.write_str(s),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<crate::meta::MetaError> for CliError {
+    fn from(e: crate::meta::MetaError) -> Self {
+        CliError::Meta(e)
+    }
+}
+
+/// `store`: stripe `input` across disk files in `dir` with the given code.
+pub fn store(
+    input: &Path,
+    dir: &Path,
+    code: CodeId,
+    p: usize,
+    block: usize,
+) -> Result<String, CliError> {
+    let payload = std::fs::read(input)?;
+    let layout = dcode_baselines::registry::build(code, p)
+        .map_err(|e| CliError::Usage(format!("cannot build {} at p={p}: {e}", code.name())))?;
+    if block == 0 {
+        return Err(CliError::Usage("block size must be positive".into()));
+    }
+    let per_stripe = layout.data_len() * block;
+    let stripes_needed = payload.len().div_ceil(per_stripe).max(1);
+    std::fs::create_dir_all(dir)?;
+
+    let meta = ArrayMeta {
+        code,
+        p,
+        block,
+        stripes: stripes_needed,
+        payload_len: payload.len(),
+    };
+    let mut stripes = Vec::with_capacity(stripes_needed);
+    for k in 0..stripes_needed {
+        let lo = k * per_stripe;
+        let hi = ((k + 1) * per_stripe).min(payload.len());
+        let chunk = if lo < payload.len() {
+            &payload[lo..hi]
+        } else {
+            &[]
+        };
+        let mut s = Stripe::from_data(&layout, block, chunk);
+        encode(&layout, &mut s);
+        stripes.push(s);
+    }
+    write_disks(dir, &meta, &layout, &stripes)?;
+    meta.save(dir)?;
+    Ok(format!(
+        "stored {} bytes as {} stripe(s) of {} over {} disks ({} + 2 parity rows each)",
+        payload.len(),
+        stripes_needed,
+        code.name(),
+        layout.disks(),
+        layout.rows() - 2
+    ))
+}
+
+/// Load the array, reconstructing up to two dead disks in memory.
+/// Returns `(meta, layout, stripes, alive)` with every stripe fully intact.
+fn load_recovered(
+    dir: &Path,
+) -> Result<
+    (
+        ArrayMeta,
+        dcode_core::layout::CodeLayout,
+        Vec<Stripe>,
+        Vec<bool>,
+    ),
+    CliError,
+> {
+    let meta = ArrayMeta::load(dir)?;
+    let layout = layout_of(&meta);
+    let (mut stripes, alive) = read_disks(dir, &meta, &layout)?;
+    let dead: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| !a)
+        .map(|(d, _)| d)
+        .collect();
+    if dead.len() > 2 {
+        return Err(CliError::State(format!(
+            "{} disks are dead ({dead:?}); RAID-6 tolerates at most 2",
+            dead.len()
+        )));
+    }
+    if !dead.is_empty() {
+        let plan = plan_column_recovery(&layout, &dead)
+            .map_err(|e| CliError::State(format!("unrecoverable: {e}")))?;
+        for s in stripes.iter_mut() {
+            apply_plan(s, &plan);
+        }
+    }
+    Ok((meta, layout, stripes, alive))
+}
+
+/// `fetch`: reassemble the payload (through up to two dead disks) into
+/// `output`.
+pub fn fetch(dir: &Path, output: &Path) -> Result<String, CliError> {
+    let (meta, layout, stripes, alive) = load_recovered(dir)?;
+    let mut payload = Vec::with_capacity(meta.payload_len);
+    for s in &stripes {
+        payload.extend_from_slice(&s.data_bytes(&layout));
+    }
+    payload.truncate(meta.payload_len);
+    std::fs::write(output, &payload)?;
+    let dead = alive.iter().filter(|&&a| !a).count();
+    Ok(format!(
+        "fetched {} bytes{}",
+        payload.len(),
+        if dead > 0 {
+            format!(" (reconstructed through {dead} dead disk(s))")
+        } else {
+            String::new()
+        }
+    ))
+}
+
+/// `status`: health and consistency summary.
+pub fn status(dir: &Path) -> Result<String, CliError> {
+    let meta = ArrayMeta::load(dir)?;
+    let layout = layout_of(&meta);
+    let (stripes, alive) = read_disks(dir, &meta, &layout)?;
+    let dead: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| !a)
+        .map(|(d, _)| d)
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "code: {} (p={}, {} disks, {} rows)\nblock: {} bytes, stripes: {}, payload: {} bytes\n",
+        meta.code.name(),
+        meta.p,
+        layout.disks(),
+        layout.rows(),
+        meta.block,
+        meta.stripes,
+        meta.payload_len
+    ));
+    if dead.is_empty() {
+        let consistent = stripes.iter().all(|s| verify_parities(&layout, s));
+        out.push_str(&format!(
+            "disks: all {} healthy; parity {}\n",
+            layout.disks(),
+            if consistent {
+                "consistent"
+            } else {
+                "INCONSISTENT (run scrub)"
+            }
+        ));
+    } else {
+        out.push_str(&format!(
+            "disks: {} healthy, DEAD: {dead:?} ({})\n",
+            layout.disks() - dead.len(),
+            if dead.len() <= 2 {
+                "recoverable — run rebuild"
+            } else {
+                "DATA LOSS"
+            }
+        ));
+    }
+    Ok(out)
+}
+
+/// `kill`: make a disk fail by deleting its file.
+pub fn kill(dir: &Path, disk: usize) -> Result<String, CliError> {
+    let meta = ArrayMeta::load(dir)?;
+    let layout = layout_of(&meta);
+    if disk >= layout.disks() {
+        return Err(CliError::Usage(format!(
+            "disk {disk} out of range (array has {} disks)",
+            layout.disks()
+        )));
+    }
+    let path = disk_path(dir, disk);
+    if !path.exists() {
+        return Err(CliError::State(format!("disk {disk} is already dead")));
+    }
+    std::fs::remove_file(path)?;
+    Ok(format!("disk {disk} killed"))
+}
+
+/// `rebuild`: reconstruct every dead disk and rewrite its file.
+pub fn rebuild(dir: &Path) -> Result<String, CliError> {
+    let (meta, layout, stripes, alive) = load_recovered(dir)?;
+    let dead: Vec<usize> = alive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| !a)
+        .map(|(d, _)| d)
+        .collect();
+    if dead.is_empty() {
+        return Ok("all disks healthy; nothing to rebuild".into());
+    }
+    for &d in &dead {
+        write_one_disk(dir, &meta, &layout, &stripes, d)?;
+    }
+    Ok(format!(
+        "rebuilt disk(s) {dead:?} across {} stripe(s)",
+        meta.stripes
+    ))
+}
+
+/// `layout`: print a code's element map, complexity metrics, and textual
+/// spec (parseable back via `dcode_core::spec::parse_spec`).
+pub fn layout(code: CodeId, p: usize) -> Result<String, CliError> {
+    let l = dcode_baselines::registry::build(code, p)
+        .map_err(|e| CliError::Usage(format!("cannot build {} at p={p}: {e}", code.name())))?;
+    let m = dcode_core::metrics::measure(&l);
+    let mut out = dcode_core::render::render_kinds_map(&l);
+    out.push_str(&format!(
+        "\n{} disks · {} data + {} parity elements · rate {:.3}\n\
+         encode {:.3} XOR/element · decode {:.3} XOR/lost · update avg {:.2}\n\n",
+        m.disks,
+        m.data_elements,
+        m.parity_elements,
+        m.storage_rate,
+        m.encode_xors_per_data_element,
+        m.decode_xors_per_lost_element,
+        m.avg_update_complexity
+    ));
+    out.push_str(&dcode_core::spec::format_spec(&l));
+    Ok(out)
+}
+
+/// `scrub`: verify every stripe's parities, localizing and repairing
+/// single-element silent corruption.
+pub fn scrub(dir: &Path) -> Result<String, CliError> {
+    let meta = ArrayMeta::load(dir)?;
+    let layout = layout_of(&meta);
+    let (mut stripes, alive) = read_disks(dir, &meta, &layout)?;
+    if alive.iter().any(|&a| !a) {
+        return Err(CliError::State(
+            "scrub requires all disks present; rebuild first".into(),
+        ));
+    }
+    let mut clean = 0usize;
+    let mut repaired = Vec::new();
+    let mut ambiguous = Vec::new();
+    for (idx, s) in stripes.iter_mut().enumerate() {
+        match scrub_stripe(&layout, s) {
+            ScrubReport::Clean => clean += 1,
+            ScrubReport::Repaired { cell } => repaired.push((idx, cell)),
+            ScrubReport::RepairedPair { cells } => {
+                repaired.push((idx, cells[0]));
+                repaired.push((idx, cells[1]));
+            }
+            ScrubReport::Ambiguous { .. } => ambiguous.push(idx),
+        }
+    }
+    if !repaired.is_empty() {
+        write_disks(dir, &meta, &layout, &stripes)?;
+    }
+    let mut out = format!("{clean}/{} stripes clean", meta.stripes);
+    if !repaired.is_empty() {
+        out.push_str(&format!("; repaired {:?}", repaired));
+    }
+    if !ambiguous.is_empty() {
+        out.push_str(&format!(
+            "; stripes {ambiguous:?} have multi-element corruption (unrepairable in place — restore from fetch + store)"
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (PathBuf, PathBuf, Vec<u8>) {
+        let root = std::env::temp_dir().join(format!("dcode-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let input = root.join("input.bin");
+        let payload: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        std::fs::write(&input, &payload).unwrap();
+        (root.clone(), input, payload)
+    }
+
+    #[test]
+    fn store_kill_two_fetch_rebuild() {
+        let (root, input, payload) = setup("e2e");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 7, 1024).unwrap();
+        assert!(status(&dir).unwrap().contains("all 7 healthy"));
+
+        kill(&dir, 1).unwrap();
+        kill(&dir, 5).unwrap();
+        assert!(status(&dir).unwrap().contains("DEAD: [1, 5]"));
+
+        // Fetch still works through two dead disks.
+        let out = root.join("out.bin");
+        let msg = fetch(&dir, &out).unwrap();
+        assert!(msg.contains("reconstructed through 2"));
+        assert_eq!(std::fs::read(&out).unwrap(), payload);
+
+        // Rebuild restores the files; array is healthy and consistent again.
+        rebuild(&dir).unwrap();
+        assert!(status(&dir).unwrap().contains("all 7 healthy"));
+        fetch(&dir, &out).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn three_dead_disks_is_data_loss() {
+        let (root, input, _) = setup("loss");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::XCode, 5, 512).unwrap();
+        for d in [0, 2, 4] {
+            kill(&dir, d).unwrap();
+        }
+        let out = root.join("out.bin");
+        assert!(matches!(fetch(&dir, &out), Err(CliError::State(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scrub_repairs_flipped_bits() {
+        let (root, input, payload) = setup("scrub");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 512).unwrap();
+
+        // Flip a byte in the middle of disk 2's file (silent corruption).
+        let dpath = crate::diskio::disk_path(&dir, 2);
+        let mut bytes = std::fs::read(&dpath).unwrap();
+        bytes[700] ^= 0x55;
+        std::fs::write(&dpath, &bytes).unwrap();
+
+        let report = scrub(&dir).unwrap();
+        assert!(report.contains("repaired"), "{report}");
+        let out = root.join("out.bin");
+        fetch(&dir, &out).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), payload);
+        // Second scrub: everything clean.
+        assert!(!scrub(&dir).unwrap().contains("repaired"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn layout_command_renders_every_code() {
+        for code in [CodeId::DCode, CodeId::Rdp, CodeId::Hdp, CodeId::PCode] {
+            let out = layout(code, 7).unwrap();
+            assert!(out.contains(code.name()), "{}", code.name());
+            assert!(out.contains("XOR/element"));
+            assert!(out.contains("prime = 7"));
+        }
+        // Non-prime rejected with a usage error.
+        assert!(matches!(layout(CodeId::DCode, 9), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn operations_on_missing_arrays_fail_cleanly() {
+        let missing = std::env::temp_dir().join("dcode-definitely-not-here");
+        let _ = std::fs::remove_dir_all(&missing);
+        assert!(matches!(status(&missing), Err(CliError::Meta(_))));
+        assert!(matches!(rebuild(&missing), Err(CliError::Meta(_))));
+        assert!(matches!(kill(&missing, 0), Err(CliError::Meta(_))));
+        let out = missing.join("x.bin");
+        assert!(matches!(fetch(&missing, &out), Err(CliError::Meta(_))));
+    }
+
+    #[test]
+    fn kill_rejects_out_of_range_and_double_kill() {
+        let (root, input, _) = setup("killerr");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 256).unwrap();
+        assert!(matches!(kill(&dir, 99), Err(CliError::Usage(_))));
+        kill(&dir, 1).unwrap();
+        assert!(matches!(kill(&dir, 1), Err(CliError::State(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scrub_requires_all_disks() {
+        let (root, input, _) = setup("scrubdeg");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 256).unwrap();
+        kill(&dir, 0).unwrap();
+        assert!(matches!(scrub(&dir), Err(CliError::State(_))));
+        rebuild(&dir).unwrap();
+        assert!(scrub(&dir).unwrap().contains("clean"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn every_code_stores_and_fetches() {
+        let (root, input, payload) = setup("codes");
+        for (i, code) in [
+            CodeId::DCode,
+            CodeId::XCode,
+            CodeId::Rdp,
+            CodeId::HCode,
+            CodeId::Hdp,
+            CodeId::EvenOdd,
+            CodeId::PCode,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let dir = root.join(format!("array{i}"));
+            store(&input, &dir, code, 7, 256).unwrap();
+            kill(&dir, 3).unwrap();
+            let out = root.join(format!("out{i}.bin"));
+            fetch(&dir, &out).unwrap();
+            assert_eq!(std::fs::read(&out).unwrap(), payload, "{}", code.name());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,172 @@
+//! Disk-file I/O: each simulated disk is one file `disk_<i>.bin` holding
+//! that column's blocks for every stripe, in stripe order.
+
+use crate::meta::ArrayMeta;
+use dcode_baselines::registry::build;
+use dcode_codec::Stripe;
+use dcode_core::grid::Cell;
+use dcode_core::layout::CodeLayout;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Path of disk `i` inside the array directory.
+pub fn disk_path(dir: &Path, disk: usize) -> PathBuf {
+    dir.join(format!("disk_{disk}.bin"))
+}
+
+/// Build the layout described by the metadata.
+pub fn layout_of(meta: &ArrayMeta) -> CodeLayout {
+    build(meta.code, meta.p).expect("metadata was validated at creation")
+}
+
+/// Expected byte length of each disk file.
+pub fn disk_file_len(meta: &ArrayMeta, layout: &CodeLayout) -> usize {
+    meta.stripes * layout.rows() * meta.block
+}
+
+/// Which disks are currently readable (file exists with the right length).
+pub fn scan_disks(dir: &Path, meta: &ArrayMeta, layout: &CodeLayout) -> Vec<bool> {
+    let want = disk_file_len(meta, layout) as u64;
+    (0..layout.disks())
+        .map(|d| {
+            std::fs::metadata(disk_path(dir, d))
+                .map(|m| m.len() == want)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Write all stripes out as per-disk files.
+pub fn write_disks(
+    dir: &Path,
+    meta: &ArrayMeta,
+    layout: &CodeLayout,
+    stripes: &[Stripe],
+) -> io::Result<()> {
+    for d in 0..layout.disks() {
+        let mut buf = Vec::with_capacity(disk_file_len(meta, layout));
+        for stripe in stripes {
+            for r in 0..layout.rows() {
+                buf.extend_from_slice(stripe.block(Cell::new(r, d)));
+            }
+        }
+        std::fs::write(disk_path(dir, d), &buf)?;
+    }
+    Ok(())
+}
+
+/// Write a single disk's file from in-memory stripes (after a rebuild).
+pub fn write_one_disk(
+    dir: &Path,
+    meta: &ArrayMeta,
+    layout: &CodeLayout,
+    stripes: &[Stripe],
+    disk: usize,
+) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(disk_file_len(meta, layout));
+    for stripe in stripes {
+        for r in 0..layout.rows() {
+            buf.extend_from_slice(stripe.block(Cell::new(r, disk)));
+        }
+    }
+    std::fs::write(disk_path(dir, disk), &buf)
+}
+
+/// Read the surviving disks into stripes; missing disks' cells are zeroed
+/// and reported. Returns `(stripes, alive)`.
+pub fn read_disks(
+    dir: &Path,
+    meta: &ArrayMeta,
+    layout: &CodeLayout,
+) -> io::Result<(Vec<Stripe>, Vec<bool>)> {
+    let alive = scan_disks(dir, meta, layout);
+    let mut stripes: Vec<Stripe> = (0..meta.stripes)
+        .map(|_| Stripe::zeroed(layout, meta.block))
+        .collect();
+    for (d, &ok) in alive.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let buf = std::fs::read(disk_path(dir, d))?;
+        let mut off = 0;
+        for stripe in stripes.iter_mut() {
+            for r in 0..layout.rows() {
+                stripe
+                    .block_mut(Cell::new(r, d))
+                    .copy_from_slice(&buf[off..off + meta.block]);
+                off += meta.block;
+            }
+        }
+    }
+    Ok((stripes, alive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ArrayMeta;
+    use dcode_baselines::registry::CodeId;
+    use dcode_codec::encode;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcode-diskio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_files_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let meta = ArrayMeta {
+            code: CodeId::DCode,
+            p: 5,
+            block: 64,
+            stripes: 2,
+            payload_len: 0,
+        };
+        let layout = layout_of(&meta);
+        let mut stripes: Vec<Stripe> = (0..2)
+            .map(|k| {
+                let payload: Vec<u8> = (0..layout.data_len() * 64)
+                    .map(|i| ((i + k * 7) % 251) as u8)
+                    .collect();
+                let mut s = Stripe::from_data(&layout, 64, &payload);
+                encode(&layout, &mut s);
+                s
+            })
+            .collect();
+        write_disks(&dir, &meta, &layout, &stripes).unwrap();
+        let (loaded, alive) = read_disks(&dir, &meta, &layout).unwrap();
+        assert!(alive.iter().all(|&a| a));
+        assert_eq!(loaded, stripes);
+
+        // Kill one disk file: scan notices, load zeroes it.
+        std::fs::remove_file(disk_path(&dir, 3)).unwrap();
+        let (loaded, alive) = read_disks(&dir, &meta, &layout).unwrap();
+        assert!(!alive[3]);
+        stripes.iter_mut().for_each(|s| s.erase_columns(&[3]));
+        assert_eq!(loaded, stripes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_counts_as_dead() {
+        let dir = tmpdir("trunc");
+        let meta = ArrayMeta {
+            code: CodeId::XCode,
+            p: 5,
+            block: 32,
+            stripes: 1,
+            payload_len: 0,
+        };
+        let layout = layout_of(&meta);
+        let stripes = vec![Stripe::zeroed(&layout, 32)];
+        write_disks(&dir, &meta, &layout, &stripes).unwrap();
+        std::fs::write(disk_path(&dir, 1), b"short").unwrap();
+        let alive = scan_disks(&dir, &meta, &layout);
+        assert!(!alive[1]);
+        assert!(alive[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

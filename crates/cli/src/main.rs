@@ -1,0 +1,136 @@
+//! `dcode` — stripe files across directory-backed "disks" with any RAID-6
+//! code in the workspace, kill disks, fetch through failures, rebuild, and
+//! scrub silent corruption.
+//!
+//! ```text
+//! dcode store <file> <array-dir> [--code dcode] [--p 7] [--block 4096]
+//! dcode fetch <array-dir> <output-file>
+//! dcode status <array-dir>
+//! dcode kill <array-dir> <disk>
+//! dcode rebuild <array-dir>
+//! dcode scrub <array-dir>
+//! ```
+
+mod commands;
+mod diskio;
+mod meta;
+
+use commands::CliError;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "dcode — RAID-6 file archival over directory-backed disks
+
+USAGE:
+  dcode store <file> <array-dir> [--code NAME] [--p N] [--block BYTES]
+  dcode fetch <array-dir> <output-file>
+  dcode status <array-dir>
+  dcode kill <array-dir> <disk-index>
+  dcode rebuild <array-dir>
+  dcode scrub <array-dir>
+  dcode layout <code-name> [--p N]     # print a code's layout and spec
+
+CODES: dcode (default), xcode, rdp, hcode, hdp, evenodd, pcode
+DEFAULTS: --p 7, --block 4096";
+
+fn run() -> Result<String, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = |msg: &str| CliError::Usage(format!("{msg}\n\n{USAGE}"));
+    let Some(cmd) = args.first() else {
+        return Err(usage("missing command"));
+    };
+
+    // Split positionals from --flags.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut flags: Vec<(&str, &str)> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| usage(&format!("flag --{name} needs a value")))?;
+            flags.push((name, value));
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let flag = |name: &str| flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+
+    match cmd.as_str() {
+        "store" => {
+            let [file, dir] = positional.as_slice() else {
+                return Err(usage("store needs <file> <array-dir>"));
+            };
+            let code = meta::parse_code(flag("code").unwrap_or("dcode")).map_err(|e| usage(&e))?;
+            let p: usize = flag("p")
+                .unwrap_or("7")
+                .parse()
+                .map_err(|_| usage("--p must be a prime number"))?;
+            let block: usize = flag("block")
+                .unwrap_or("4096")
+                .parse()
+                .map_err(|_| usage("--block must be a byte count"))?;
+            commands::store(&PathBuf::from(file), &PathBuf::from(dir), code, p, block)
+        }
+        "fetch" => {
+            let [dir, out] = positional.as_slice() else {
+                return Err(usage("fetch needs <array-dir> <output-file>"));
+            };
+            commands::fetch(&PathBuf::from(dir), &PathBuf::from(out))
+        }
+        "status" => {
+            let [dir] = positional.as_slice() else {
+                return Err(usage("status needs <array-dir>"));
+            };
+            commands::status(&PathBuf::from(dir))
+        }
+        "kill" => {
+            let [dir, disk] = positional.as_slice() else {
+                return Err(usage("kill needs <array-dir> <disk-index>"));
+            };
+            let disk: usize = disk
+                .parse()
+                .map_err(|_| usage("disk index must be a number"))?;
+            commands::kill(&PathBuf::from(dir), disk)
+        }
+        "rebuild" => {
+            let [dir] = positional.as_slice() else {
+                return Err(usage("rebuild needs <array-dir>"));
+            };
+            commands::rebuild(&PathBuf::from(dir))
+        }
+        "scrub" => {
+            let [dir] = positional.as_slice() else {
+                return Err(usage("scrub needs <array-dir>"));
+            };
+            commands::scrub(&PathBuf::from(dir))
+        }
+        "layout" => {
+            let [code_name] = positional.as_slice() else {
+                return Err(usage("layout needs <code-name>"));
+            };
+            let code = meta::parse_code(code_name).map_err(|e| usage(&e))?;
+            let p: usize = flag("p")
+                .unwrap_or("7")
+                .parse()
+                .map_err(|_| usage("--p must be a prime number"))?;
+            commands::layout(code, p)
+        }
+        other => Err(usage(&format!("unknown command '{other}'"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Array metadata: a small text file (`meta.txt`) describing how a payload
+//! was striped across the disk files.
+
+use dcode_baselines::registry::CodeId;
+use std::fmt;
+use std::path::Path;
+
+/// Persistent description of one on-disk array.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayMeta {
+    /// Which code stripes the data.
+    pub code: CodeId,
+    /// The code's prime parameter.
+    pub p: usize,
+    /// Element block size in bytes.
+    pub block: usize,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// Exact byte length of the stored payload (the tail block is padded).
+    pub payload_len: usize,
+}
+
+/// Errors loading or parsing metadata.
+#[derive(Debug)]
+pub enum MetaError {
+    /// I/O problem reading or writing `meta.txt`.
+    Io(std::io::Error),
+    /// The file exists but a field is missing or malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::Io(e) => write!(f, "metadata I/O error: {e}"),
+            MetaError::Malformed(what) => write!(f, "malformed meta.txt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+impl From<std::io::Error> for MetaError {
+    fn from(e: std::io::Error) -> Self {
+        MetaError::Io(e)
+    }
+}
+
+fn code_by_name(name: &str) -> Option<CodeId> {
+    match name.to_ascii_lowercase().as_str() {
+        "dcode" | "d-code" => Some(CodeId::DCode),
+        "xcode" | "x-code" => Some(CodeId::XCode),
+        "rdp" => Some(CodeId::Rdp),
+        "hcode" | "h-code" => Some(CodeId::HCode),
+        "hdp" => Some(CodeId::Hdp),
+        "evenodd" => Some(CodeId::EvenOdd),
+        "pcode" | "p-code" => Some(CodeId::PCode),
+        _ => None,
+    }
+}
+
+/// Parse a user-facing code name (`dcode`, `rdp`, `x-code`, …).
+pub fn parse_code(name: &str) -> Result<CodeId, String> {
+    code_by_name(name).ok_or_else(|| {
+        format!("unknown code '{name}' (try dcode, xcode, rdp, hcode, hdp, evenodd, pcode)")
+    })
+}
+
+impl ArrayMeta {
+    /// Serialize to the `meta.txt` format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "code={}\np={}\nblock={}\nstripes={}\npayload_len={}\n",
+            self.code.name(),
+            self.p,
+            self.block,
+            self.stripes,
+            self.payload_len
+        )
+    }
+
+    /// Parse from the `meta.txt` format.
+    pub fn from_text(text: &str) -> Result<Self, MetaError> {
+        let mut code = None;
+        let mut p = None;
+        let mut block = None;
+        let mut stripes = None;
+        let mut payload_len = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| MetaError::Malformed(format!("line '{line}'")))?;
+            let bad = |f: &str| MetaError::Malformed(format!("field '{f}' = '{v}'"));
+            match k {
+                "code" => {
+                    code = Some(code_by_name(v).ok_or_else(|| bad("code"))?);
+                }
+                "p" => p = Some(v.parse().map_err(|_| bad("p"))?),
+                "block" => block = Some(v.parse().map_err(|_| bad("block"))?),
+                "stripes" => stripes = Some(v.parse().map_err(|_| bad("stripes"))?),
+                "payload_len" => payload_len = Some(v.parse().map_err(|_| bad("payload_len"))?),
+                other => return Err(MetaError::Malformed(format!("unknown field '{other}'"))),
+            }
+        }
+        fn need<T>(o: Option<T>, f: &str) -> Result<T, MetaError> {
+            o.ok_or_else(|| MetaError::Malformed(format!("missing '{f}'")))
+        }
+        Ok(ArrayMeta {
+            code: need(code, "code")?,
+            p: need(p, "p")?,
+            block: need(block, "block")?,
+            stripes: need(stripes, "stripes")?,
+            payload_len: need(payload_len, "payload_len")?,
+        })
+    }
+
+    /// Load from `<dir>/meta.txt`.
+    pub fn load(dir: &Path) -> Result<Self, MetaError> {
+        let text = std::fs::read_to_string(dir.join("meta.txt"))?;
+        Self::from_text(&text)
+    }
+
+    /// Save to `<dir>/meta.txt`.
+    pub fn save(&self, dir: &Path) -> Result<(), MetaError> {
+        std::fs::write(dir.join("meta.txt"), self.to_text())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = ArrayMeta {
+            code: CodeId::DCode,
+            p: 7,
+            block: 4096,
+            stripes: 3,
+            payload_len: 123456,
+        };
+        let parsed = ArrayMeta::from_text(&m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_code_aliases() {
+        assert_eq!(parse_code("D-Code").unwrap(), CodeId::DCode);
+        assert_eq!(parse_code("rdp").unwrap(), CodeId::Rdp);
+        assert!(parse_code("raidz").is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ArrayMeta::from_text("code=dcode\np=7\n").is_err());
+        assert!(ArrayMeta::from_text("nonsense").is_err());
+        assert!(
+            ArrayMeta::from_text("code=zzz\np=7\nblock=1\nstripes=1\npayload_len=0\n").is_err()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Bulk payload encoding: split a large payload into stripes and encode
+//! them in parallel with crossbeam scoped threads.
+//!
+//! Stripes are independent, so this is embarrassingly parallel — each
+//! worker owns a disjoint chunk of the stripe vector (data-race freedom by
+//! construction, per the Rayon-style idiom the HPC guides recommend).
+
+use crate::encode::encode;
+use crate::stripe::Stripe;
+use dcode_core::layout::CodeLayout;
+
+/// Split `payload` into as many stripes as needed (tail zero-padded) and
+/// encode each. `threads = 1` runs inline; more fan out with crossbeam.
+pub fn encode_payload(
+    layout: &CodeLayout,
+    block_size: usize,
+    payload: &[u8],
+    threads: usize,
+) -> Vec<Stripe> {
+    let per_stripe = layout.data_len() * block_size;
+    let n_stripes = payload.len().div_ceil(per_stripe).max(1);
+    let mut stripes: Vec<Stripe> = (0..n_stripes)
+        .map(|k| {
+            let lo = k * per_stripe;
+            let hi = ((k + 1) * per_stripe).min(payload.len());
+            let chunk = if lo < payload.len() {
+                &payload[lo..hi]
+            } else {
+                &[]
+            };
+            Stripe::from_data(layout, block_size, chunk)
+        })
+        .collect();
+    encode_stripes(layout, &mut stripes, threads);
+    stripes
+}
+
+/// Encode a slice of stripes in place, in parallel.
+pub fn encode_stripes(layout: &CodeLayout, stripes: &mut [Stripe], threads: usize) {
+    let threads = threads.max(1);
+    if threads == 1 || stripes.len() <= 1 {
+        for s in stripes.iter_mut() {
+            encode(layout, s);
+        }
+        return;
+    }
+    let chunk = stripes.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for part in stripes.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                for s in part {
+                    encode(layout, s);
+                }
+            });
+        }
+    })
+    .expect("bulk encode worker panicked");
+}
+
+/// Reassemble the payload from encoded stripes (inverse of
+/// [`encode_payload`], minus the padding).
+pub fn payload_of(layout: &CodeLayout, stripes: &[Stripe], payload_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload_len);
+    for s in stripes {
+        out.extend_from_slice(&s.data_bytes(layout));
+    }
+    out.truncate(payload_len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::verify_parities;
+    use dcode_core::dcode::dcode;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let layout = dcode(7).unwrap();
+        let data = payload(layout.data_len() * 64 * 5 + 123); // 5.x stripes
+        let seq = encode_payload(&layout, 64, &data, 1);
+        for threads in [2usize, 4, 8] {
+            let par = encode_payload(&layout, 64, &data, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        assert_eq!(seq.len(), 6);
+        assert!(seq.iter().all(|s| verify_parities(&layout, s)));
+        assert_eq!(payload_of(&layout, &seq, data.len()), data);
+    }
+
+    #[test]
+    fn empty_payload_yields_one_zero_stripe() {
+        let layout = dcode(5).unwrap();
+        let stripes = encode_payload(&layout, 16, &[], 4);
+        assert_eq!(stripes.len(), 1);
+        assert!(verify_parities(&layout, &stripes[0]));
+        assert!(payload_of(&layout, &stripes, 0).is_empty());
+    }
+
+    #[test]
+    fn exact_multiple_has_no_extra_stripe() {
+        let layout = dcode(5).unwrap();
+        let per = layout.data_len() * 16;
+        let stripes = encode_payload(&layout, 16, &payload(per * 3), 2);
+        assert_eq!(stripes.len(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! GF(2⁸) arithmetic — the substrate for the Reed–Solomon RAID-6 baseline.
+//!
+//! The D-Code paper's whole premise is that XOR-only array codes beat
+//! Galois-field codes on computation: Reed–Solomon RAID-6 multiplies every
+//! byte by field coefficients, while D-Code only XORs. This module supplies
+//! the field (polynomial `x⁸+x⁴+x³+x²+1`, `0x11D`, generator `α = 2` — the
+//! classic RAID-6 choice) so the `xor_vs_rs` bench can measure that premise
+//! instead of asserting it.
+
+/// The field's reducing polynomial (without the x⁸ term): `0x1D`.
+pub const POLY: u16 = 0x11D;
+
+/// Number of non-zero field elements.
+pub const ORDER: usize = 255;
+
+/// Precomputed log/antilog tables, built once at first use.
+struct Tables {
+    log: [u8; 256],
+    alog: [u8; 512], // doubled to skip a mod in mul
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut alog = [0u8; 512];
+        let mut x: u16 = 1;
+        for (i, slot) in alog.iter_mut().enumerate().take(ORDER) {
+            *slot = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in ORDER..512 {
+            alog[i] = alog[i - ORDER];
+        }
+        Tables { log, alog }
+    })
+}
+
+/// Field multiplication.
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.alog[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Field division (`a / b`). Panics on division by zero.
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let diff = t.log[a as usize] as usize + ORDER - t.log[b as usize] as usize;
+    t.alog[diff]
+}
+
+/// Multiplicative inverse. Panics on zero.
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// `α^e` for the generator α = 2.
+pub fn exp(e: usize) -> u8 {
+    tables().alog[e % ORDER]
+}
+
+/// Discrete log base α. Panics on zero.
+pub fn log(a: u8) -> usize {
+    assert!(a != 0, "log of zero in GF(256)");
+    tables().log[a as usize] as usize
+}
+
+/// `dst[i] ^= c · src[i]` over whole buffers, via a per-coefficient
+/// 256-entry product table (the standard software RAID-6 Q update).
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        crate::xor::xor_into(dst, src);
+        return;
+    }
+    let mut table = [0u8; 256];
+    for (x, slot) in table.iter_mut().enumerate() {
+        *slot = mul(c, x as u8);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= table[s as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // α = 2; α⁸ = 0x1D under 0x11D.
+        assert_eq!(exp(0), 1);
+        assert_eq!(exp(1), 2);
+        assert_eq!(exp(8), 0x1D);
+        assert_eq!(mul(2, 0x80), 0x1D);
+        assert_eq!(mul(0, 77), 0);
+        assert_eq!(mul(1, 77), 77);
+    }
+
+    #[test]
+    fn field_axioms_exhaustive_light() {
+        // Associativity and distributivity over a sampled grid, inverses
+        // exhaustively.
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+        }
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (0..=255u8).step_by(31) {
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c));
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α generates the multiplicative group: 255 distinct powers.
+        let mut seen = [false; 256];
+        for e in 0..ORDER {
+            let v = exp(e);
+            assert!(!seen[v as usize], "α^{e} repeats");
+            seen[v as usize] = true;
+        }
+        assert_eq!(exp(ORDER), 1);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = vec![0xA5u8; 256];
+            let mut expect = dst.clone();
+            mul_acc(&mut dst, &src, c);
+            for (e, &s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(c, s);
+            }
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+}

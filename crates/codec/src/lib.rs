@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # dcode-codec
+//!
+//! The byte-level erasure-coding engine of the D-Code reproduction — the
+//! workspace's stand-in for the Jerasure 1.2 library the paper builds on.
+//! Generic over any [`dcode_core::layout::CodeLayout`]:
+//!
+//! * [`xor`] — `u64`-lane XOR kernels;
+//! * [`stripe`] — in-memory stripe storage ([`Stripe`]);
+//! * [`mod@encode`] — sequential and crossbeam-parallel full-stripe encoding,
+//!   plus the `verify_parities` consistency check;
+//! * [`decode`] — replay of symbolic [`dcode_core::decoder::RecoveryPlan`]s
+//!   over real blocks;
+//! * [`update`] — read-modify-write partial-stripe writes with cascading
+//!   delta propagation (the I/O behaviour Figures 4–5 measure);
+//! * [`bitmatrix`] — the Jerasure-style GF(2) generator-matrix backend,
+//!   cross-checked against the equation-driven encoder;
+//! * [`gf256`] / [`rs`] — a GF(2⁸) field and the classic Reed–Solomon P+Q
+//!   RAID-6, the Galois-field baseline the paper's XOR-only design
+//!   competes with (see the `xor_vs_rs` bench).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dcode_core::dcode::dcode;
+//! use dcode_codec::{Stripe, encode::encode, decode::recover_columns};
+//!
+//! let code = dcode(7).unwrap();
+//! let payload: Vec<u8> = (0..code.data_len() * 16).map(|i| i as u8).collect();
+//! let mut stripe = Stripe::from_data(&code, 16, &payload);
+//! encode(&code, &mut stripe);
+//!
+//! // Lose two disks, rebuild, and the payload is intact.
+//! recover_columns(&code, &mut stripe, &[2, 3]).unwrap();
+//! assert_eq!(stripe.data_bytes(&code), payload);
+//! ```
+
+pub mod bitmatrix;
+pub mod bulk;
+pub mod decode;
+pub mod encode;
+pub mod gf256;
+pub mod rs;
+pub mod stripe;
+pub mod update;
+pub mod xor;
+
+pub use bitmatrix::{encode_with_matrix, generator_matrix, BitMatrix};
+pub use bulk::{encode_payload, encode_stripes, payload_of};
+pub use decode::{apply_plan, recover_columns};
+pub use encode::{encode, encode_parallel, verify_parities};
+pub use stripe::Stripe;
+pub use update::{reconstruct_write_ios, write_logical, write_logical_reconstruct, WriteReceipt};

@@ -1,0 +1,247 @@
+//! Reed–Solomon RAID-6 (the P+Q scheme) — the Galois-field baseline the
+//! paper's XOR-only design competes with.
+//!
+//! For `k` data blocks `D₀ … D_{k−1}`:
+//!
+//! ```text
+//! P = D₀ ⊕ D₁ ⊕ … ⊕ D_{k−1}
+//! Q = g⁰·D₀ ⊕ g¹·D₁ ⊕ … ⊕ g^{k−1}·D_{k−1}      (g = α over GF(2⁸))
+//! ```
+//!
+//! Any two lost blocks are recoverable by the classic case analysis
+//! (one data; data+P; data+Q; P+Q; two data). This is the layout Linux
+//! `md` RAID-6 and Reed–Solomon-based systems use; it is *horizontal*
+//! (dedicated P and Q disks) and needs field multiplications on Q's hot
+//! path — both properties the paper's evaluation argues against. The
+//! `xor_vs_rs` bench compares its encode/decode throughput against the
+//! array codes'.
+
+use crate::gf256::{div, exp, inv, mul_acc, ORDER};
+use crate::xor::xor_into;
+
+/// A P+Q RAID-6 group over `k` equally sized data blocks.
+#[derive(Clone, Debug)]
+pub struct RsRaid6 {
+    k: usize,
+    block: usize,
+}
+
+/// Which blocks of an [`RsRaid6`] group were lost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Erasure {
+    /// One data block.
+    OneData(usize),
+    /// One data block and the P block.
+    DataAndP(usize),
+    /// One data block and the Q block.
+    DataAndQ(usize),
+    /// Both parity blocks (data intact).
+    PAndQ,
+    /// Two distinct data blocks.
+    TwoData(usize, usize),
+}
+
+impl RsRaid6 {
+    /// A group of `k` data blocks of `block` bytes (so `k + 2` disks).
+    /// `k` must be at most [`ORDER`] (255) for distinct coefficients.
+    pub fn new(k: usize, block: usize) -> Self {
+        assert!((1..=ORDER).contains(&k), "1 ≤ k ≤ 255 required");
+        assert!(block > 0);
+        RsRaid6 { k, block }
+    }
+
+    /// Number of data blocks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn check(&self, data: &[Vec<u8>]) {
+        assert_eq!(data.len(), self.k, "expected {} data blocks", self.k);
+        assert!(
+            data.iter().all(|d| d.len() == self.block),
+            "block size mismatch"
+        );
+    }
+
+    /// Compute `(P, Q)` from the data blocks.
+    pub fn encode(&self, data: &[Vec<u8>]) -> (Vec<u8>, Vec<u8>) {
+        self.check(data);
+        let mut p = vec![0u8; self.block];
+        let mut q = vec![0u8; self.block];
+        for (i, d) in data.iter().enumerate() {
+            xor_into(&mut p, d);
+            mul_acc(&mut q, d, exp(i));
+        }
+        (p, q)
+    }
+
+    /// Recover from an erasure, rewriting the lost blocks in place.
+    ///
+    /// `data`, `p`, and `q` hold the surviving values; the lost entries'
+    /// contents are ignored and overwritten.
+    pub fn decode(&self, data: &mut [Vec<u8>], p: &mut Vec<u8>, q: &mut Vec<u8>, e: Erasure) {
+        self.check(data);
+        match e {
+            Erasure::OneData(x) | Erasure::DataAndQ(x) => {
+                // D_x from P and the other data.
+                assert!(x < self.k);
+                let mut acc = p.clone();
+                for (i, d) in data.iter().enumerate() {
+                    if i != x {
+                        xor_into(&mut acc, d);
+                    }
+                }
+                data[x] = acc;
+                if matches!(e, Erasure::DataAndQ(_)) {
+                    let (_, new_q) = self.encode(data);
+                    *q = new_q;
+                }
+            }
+            Erasure::DataAndP(x) => {
+                // D_x from Q: D_x = (Q ⊕ Σ_{i≠x} g^i·D_i) / g^x.
+                assert!(x < self.k);
+                let mut acc = q.clone();
+                for (i, d) in data.iter().enumerate() {
+                    if i != x {
+                        mul_acc(&mut acc, d, exp(i));
+                    }
+                }
+                let gx_inv = inv(exp(x));
+                let mut dx = vec![0u8; self.block];
+                mul_acc(&mut dx, &acc, gx_inv);
+                data[x] = dx;
+                let (new_p, _) = self.encode(data);
+                *p = new_p;
+            }
+            Erasure::PAndQ => {
+                let (new_p, new_q) = self.encode(data);
+                *p = new_p;
+                *q = new_q;
+            }
+            Erasure::TwoData(x, y) => {
+                // The classic two-data reconstruction:
+                //   Pxy = Σ_{i∉{x,y}} D_i            (P syndrome)
+                //   Qxy = Σ_{i∉{x,y}} g^i·D_i        (Q syndrome)
+                //   A = (P ⊕ Pxy), B = (Q ⊕ Qxy)
+                //   D_x = (g^y·A ⊕ B) / (g^x ⊕ g^y);  D_y = A ⊕ D_x
+                assert!(x != y && x < self.k && y < self.k);
+                let mut pxy = vec![0u8; self.block];
+                let mut qxy = vec![0u8; self.block];
+                for (i, d) in data.iter().enumerate() {
+                    if i != x && i != y {
+                        xor_into(&mut pxy, d);
+                        mul_acc(&mut qxy, d, exp(i));
+                    }
+                }
+                let mut a = p.clone();
+                xor_into(&mut a, &pxy);
+                let mut b = q.clone();
+                xor_into(&mut b, &qxy);
+
+                let denom = exp(x) ^ exp(y);
+                let coeff_a = div(exp(y), denom);
+                let coeff_b = div(1, denom);
+                let mut dx = vec![0u8; self.block];
+                mul_acc(&mut dx, &a, coeff_a);
+                mul_acc(&mut dx, &b, coeff_b);
+                let mut dy = a;
+                xor_into(&mut dy, &dx);
+                data[x] = dx;
+                data[y] = dy;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(k: usize, block: usize, seed: u64) -> (RsRaid6, Vec<Vec<u8>>) {
+        let rs = RsRaid6::new(k, block);
+        let mut x = seed | 1;
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|_| {
+                (0..block)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (x >> 33) as u8
+                    })
+                    .collect()
+            })
+            .collect();
+        (rs, data)
+    }
+
+    #[test]
+    fn every_erasure_case_recovers() {
+        let (rs, data) = group(8, 64, 42);
+        let (p, q) = rs.encode(&data);
+        let cases = [
+            Erasure::OneData(3),
+            Erasure::DataAndP(5),
+            Erasure::DataAndQ(0),
+            Erasure::PAndQ,
+            Erasure::TwoData(1, 6),
+            Erasure::TwoData(7, 2),
+        ];
+        for e in cases {
+            let mut d = data.clone();
+            let mut pp = p.clone();
+            let mut qq = q.clone();
+            // Clobber the lost blocks.
+            match e {
+                Erasure::OneData(x) => d[x].fill(0),
+                Erasure::DataAndP(x) => {
+                    d[x].fill(0);
+                    pp.fill(0);
+                }
+                Erasure::DataAndQ(x) => {
+                    d[x].fill(0);
+                    qq.fill(0);
+                }
+                Erasure::PAndQ => {
+                    pp.fill(0);
+                    qq.fill(0);
+                }
+                Erasure::TwoData(x, y) => {
+                    d[x].fill(0);
+                    d[y].fill(0);
+                }
+            }
+            rs.decode(&mut d, &mut pp, &mut qq, e);
+            assert_eq!(d, data, "{e:?}");
+            assert_eq!(pp, p, "{e:?}");
+            assert_eq!(qq, q, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn all_two_data_pairs_recover() {
+        let (rs, data) = group(11, 16, 7);
+        let (p, q) = rs.encode(&data);
+        for x in 0..11 {
+            for y in x + 1..11 {
+                let mut d = data.clone();
+                d[x].fill(0xEE);
+                d[y].fill(0xEE);
+                let (mut pp, mut qq) = (p.clone(), q.clone());
+                rs.decode(&mut d, &mut pp, &mut qq, Erasure::TwoData(x, y));
+                assert_eq!(d, data, "pair ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn q_actually_differs_from_p() {
+        let (rs, data) = group(5, 32, 3);
+        let (p, q) = rs.encode(&data);
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_k_rejected() {
+        let _ = RsRaid6::new(256, 8);
+    }
+}

@@ -1,0 +1,175 @@
+//! XOR parity equations.
+//!
+//! Every code in this workspace is defined by a list of equations of the form
+//! `parity = member₀ ⊕ member₁ ⊕ …`. Members are usually data cells, but some
+//! codes (RDP's diagonal parity, HDP's anti-diagonals) include *other parity
+//! cells* as members; the machinery here is agnostic.
+
+use crate::grid::Cell;
+use std::fmt;
+
+/// The family an equation belongs to. Purely descriptive — decoding and
+/// accounting never branch on it — but it drives layout printing, per-kind
+/// statistics, and the degraded-read planner's reporting.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EquationKind {
+    /// D-Code horizontal parity: XOR of logically continuous data elements.
+    Horizontal,
+    /// D-Code deployment parity (the paper's special diagonal walk).
+    Deployment,
+    /// Plain row parity (RDP, EVENODD, H-Code, HDP horizontal).
+    Row,
+    /// Diagonal parity of slope +1 (RDP, EVENODD, X-Code).
+    Diagonal,
+    /// Anti-diagonal parity of slope −1 (X-Code, H-Code, HDP).
+    AntiDiagonal,
+}
+
+impl fmt::Display for EquationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EquationKind::Horizontal => "horizontal",
+            EquationKind::Deployment => "deployment",
+            EquationKind::Row => "row",
+            EquationKind::Diagonal => "diagonal",
+            EquationKind::AntiDiagonal => "anti-diagonal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One parity equation: the element at `parity` stores the XOR of all
+/// `members`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Equation {
+    /// Which family of parity this is.
+    pub kind: EquationKind,
+    /// The cell storing the XOR result.
+    pub parity: Cell,
+    /// Cells XOR-ed together to produce the parity. Order is irrelevant to
+    /// the XOR but preserved as constructed (useful for printing the paper's
+    /// worked examples verbatim).
+    pub members: Vec<Cell>,
+}
+
+impl Equation {
+    /// Create an equation after light sanity checks (no duplicate members,
+    /// parity not among its own members).
+    pub fn new(kind: EquationKind, parity: Cell, members: Vec<Cell>) -> Self {
+        debug_assert!(
+            !members.contains(&parity),
+            "parity {parity} appears among its own members"
+        );
+        debug_assert!(
+            {
+                let mut sorted = members.clone();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate member in equation at {parity}"
+        );
+        Equation {
+            kind,
+            parity,
+            members,
+        }
+    }
+
+    /// All cells constrained by this equation: the parity plus every member.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        std::iter::once(self.parity).chain(self.members.iter().copied())
+    }
+
+    /// Number of cells constrained (members + the parity itself).
+    pub fn arity(&self) -> usize {
+        self.members.len() + 1
+    }
+
+    /// XOR operations needed to evaluate this equation from scratch.
+    pub fn xor_count(&self) -> usize {
+        self.members.len().saturating_sub(1)
+    }
+
+    /// Whether `cell` participates (as parity or member).
+    pub fn involves(&self, cell: Cell) -> bool {
+        self.parity == cell || self.members.contains(&cell)
+    }
+}
+
+impl fmt::Display for Equation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} =", self.kind, self.parity)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {m}")?;
+            } else {
+                write!(f, " ^ {m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq() -> Equation {
+        Equation::new(
+            EquationKind::Horizontal,
+            Cell::new(5, 1),
+            vec![
+                Cell::new(1, 3),
+                Cell::new(1, 4),
+                Cell::new(1, 5),
+                Cell::new(1, 6),
+                Cell::new(2, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn arity_and_xors() {
+        let e = eq();
+        assert_eq!(e.arity(), 6);
+        // n−3 = 4 XORs for a 5-member D-Code equation at n = 7.
+        assert_eq!(e.xor_count(), 4);
+    }
+
+    #[test]
+    fn involves_parity_and_members() {
+        let e = eq();
+        assert!(e.involves(Cell::new(5, 1)));
+        assert!(e.involves(Cell::new(2, 0)));
+        assert!(!e.involves(Cell::new(0, 0)));
+    }
+
+    #[test]
+    fn cells_includes_parity_first() {
+        let e = eq();
+        let cells: Vec<Cell> = e.cells().collect();
+        assert_eq!(cells[0], Cell::new(5, 1));
+        assert_eq!(cells.len(), 6);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Equation::new(
+            EquationKind::Row,
+            Cell::new(0, 2),
+            vec![Cell::new(0, 0), Cell::new(0, 1)],
+        );
+        assert_eq!(e.to_string(), "row (0,2) = (0,0) ^ (0,1)");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn parity_in_members_asserts() {
+        let _ = Equation::new(
+            EquationKind::Row,
+            Cell::new(0, 0),
+            vec![Cell::new(0, 0), Cell::new(0, 1)],
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Element-grid primitives shared by every array code in the workspace.
+//!
+//! A RAID-6 *array code* views one stripe as a small matrix of *elements*
+//! (fixed-size blocks). Rows are offsets within a disk, columns are disks.
+//! [`Cell`] names one element, [`Grid`] fixes the matrix dimensions, and
+//! [`CellKind`] says whether a position stores user data or a parity value.
+
+use std::fmt;
+
+/// Coordinates of one element within a stripe: `row` is the offset inside a
+/// disk, `col` is the disk index.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Cell {
+    /// Row index (offset within a disk), `0..grid.rows`.
+    pub row: usize,
+    /// Column index (disk number), `0..grid.cols`.
+    pub col: usize,
+}
+
+impl Cell {
+    /// Convenience constructor.
+    pub const fn new(row: usize, col: usize) -> Self {
+        Cell { row, col }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// Stripe matrix dimensions.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Grid {
+    /// Number of element rows per stripe.
+    pub rows: usize,
+    /// Number of columns, i.e. disks in the array.
+    pub cols: usize,
+}
+
+impl Grid {
+    /// Create a grid; panics on zero dimensions (a stripe is never empty).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Grid { rows, cols }
+    }
+
+    /// Total number of elements in the stripe.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the grid holds no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linear index of `cell`, for dense per-cell tables.
+    pub fn index(&self, cell: Cell) -> usize {
+        debug_assert!(
+            self.contains(cell),
+            "{cell} outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        cell.row * self.cols + cell.col
+    }
+
+    /// Inverse of [`Grid::index`].
+    pub fn cell_at(&self, index: usize) -> Cell {
+        debug_assert!(index < self.len());
+        Cell::new(index / self.cols, index % self.cols)
+    }
+
+    /// Whether `cell` lies inside the grid.
+    pub fn contains(&self, cell: Cell) -> bool {
+        cell.row < self.rows && cell.col < self.cols
+    }
+
+    /// Iterate over every cell in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        let cols = self.cols;
+        (0..self.len()).map(move |i| Cell::new(i / cols, i % cols))
+    }
+
+    /// Iterate over the cells of one column, top to bottom.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = Cell> + '_ {
+        assert!(col < self.cols, "column {col} out of range");
+        (0..self.rows).map(move |r| Cell::new(r, col))
+    }
+
+    /// Iterate over the cells of one row, left to right.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = Cell> + '_ {
+        assert!(row < self.rows, "row {row} out of range");
+        (0..self.cols).map(move |c| Cell::new(row, c))
+    }
+}
+
+/// What a grid position stores.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CellKind {
+    /// User data.
+    Data,
+    /// A parity element; the payload is the index of the equation (in the
+    /// layout's equation list) whose result is stored here.
+    Parity(usize),
+}
+
+impl CellKind {
+    /// `true` for data positions.
+    pub fn is_data(&self) -> bool {
+        matches!(self, CellKind::Data)
+    }
+
+    /// `true` for parity positions.
+    pub fn is_parity(&self) -> bool {
+        matches!(self, CellKind::Parity(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid::new(5, 7);
+        for i in 0..g.len() {
+            assert_eq!(g.index(g.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn cells_row_major() {
+        let g = Grid::new(2, 3);
+        let cells: Vec<Cell> = g.cells().collect();
+        assert_eq!(
+            cells,
+            vec![
+                Cell::new(0, 0),
+                Cell::new(0, 1),
+                Cell::new(0, 2),
+                Cell::new(1, 0),
+                Cell::new(1, 1),
+                Cell::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn column_iteration() {
+        let g = Grid::new(3, 4);
+        let col: Vec<Cell> = g.column(2).collect();
+        assert_eq!(col, vec![Cell::new(0, 2), Cell::new(1, 2), Cell::new(2, 2)]);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let g = Grid::new(3, 4);
+        let row: Vec<Cell> = g.row(1).collect();
+        assert_eq!(row.len(), 4);
+        assert!(row.iter().all(|c| c.row == 1));
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let g = Grid::new(3, 3);
+        assert!(g.contains(Cell::new(2, 2)));
+        assert!(!g.contains(Cell::new(3, 0)));
+        assert!(!g.contains(Cell::new(0, 3)));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CellKind::Data.is_data());
+        assert!(!CellKind::Data.is_parity());
+        assert!(CellKind::Parity(0).is_parity());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_grid_panics() {
+        let _ = Grid::new(0, 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cell::new(5, 1).to_string(), "(5,1)");
+    }
+}

@@ -1,0 +1,102 @@
+//! Modular arithmetic helpers used by the code constructions.
+//!
+//! The paper writes `<x>_n` for `x mod n` with the mathematician's convention
+//! that the result is always in `0..n`, even for negative `x`. [`md`] is that
+//! operator.
+
+/// `<a>_m`: Euclidean remainder of `a` modulo `m`, always in `0..m`.
+///
+/// ```
+/// use dcode_core::modmath::md;
+/// assert_eq!(md(-8, 5), 2);
+/// assert_eq!(md(7, 7), 0);
+/// ```
+pub fn md(a: i64, m: usize) -> usize {
+    debug_assert!(m > 0);
+    a.rem_euclid(m as i64) as usize
+}
+
+/// Primality by trial division — plenty for stripe sizes (primes ≤ a few
+/// hundred).
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Modular multiplicative inverse of `a` modulo prime `p` (Fermat).
+///
+/// Panics if `a ≡ 0 (mod p)`.
+pub fn inv_mod_prime(a: usize, p: usize) -> usize {
+    assert!(is_prime(p), "{p} is not prime");
+    let a = a % p;
+    assert!(a != 0, "0 has no inverse");
+    // a^(p-2) mod p by square-and-multiply.
+    let mut base = a as u128;
+    let mut exp = (p - 2) as u32;
+    let m = p as u128;
+    let mut acc: u128 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        exp >>= 1;
+    }
+    acc as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_matches_paper_convention() {
+        // `<−8>_5 = 2` appears in the hand-check of D-Code equation (1).
+        assert_eq!(md(-8, 5), 2);
+        assert_eq!(md(-1, 7), 6);
+        assert_eq!(md(0, 3), 0);
+        assert_eq!(md(14, 7), 0);
+    }
+
+    #[test]
+    fn md_agrees_with_rem_for_nonnegative() {
+        for a in 0..100i64 {
+            for m in 1..20usize {
+                assert_eq!(md(a, m), (a as usize) % m);
+            }
+        }
+    }
+
+    #[test]
+    fn primes() {
+        let primes: Vec<usize> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn inverses() {
+        for p in [5usize, 7, 11, 13, 17] {
+            for a in 1..p {
+                assert_eq!(a * inv_mod_prime(a, p) % p, 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inverse_panics() {
+        inv_mod_prime(0, 7);
+    }
+}

@@ -1,0 +1,209 @@
+//! Text rendering of layouts — regenerates the paper's Figure 2-style
+//! pictures on a terminal.
+//!
+//! For a chosen equation kind, every data cell is labelled with the index of
+//! the equation that covers it (numbers for the first kind, letters for the
+//! second, mirroring Figure 2's number/letter flags), and parity cells are
+//! labelled with the equation they store.
+
+use crate::equation::EquationKind;
+use crate::grid::CellKind;
+use crate::layout::CodeLayout;
+use std::fmt::Write as _;
+
+/// Label generator: equation index → short printable label.
+fn label(idx: usize, letters: bool) -> String {
+    if letters {
+        // A, B, …, Z, AA, AB, … (Figure 2(b) uses letters).
+        let mut s = String::new();
+        let mut i = idx;
+        loop {
+            s.insert(0, (b'A' + (i % 26) as u8) as char);
+            if i < 26 {
+                break;
+            }
+            i = i / 26 - 1;
+        }
+        s
+    } else {
+        idx.to_string()
+    }
+}
+
+/// Render the membership picture for one equation kind, Figure-2 style.
+///
+/// Data cells show the label of the `kind` equation covering them (`.` if
+/// none does); parity cells storing a `kind` equation show `[label]`, other
+/// parity cells show `[ ]`.
+pub fn render_kind(layout: &CodeLayout, kind: EquationKind, letters: bool) -> String {
+    // Number the equations of this kind in construction order.
+    let eq_ids: Vec<usize> = layout
+        .equations()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == kind)
+        .map(|(i, _)| i)
+        .collect();
+    let local = |eq: usize| eq_ids.iter().position(|&i| i == eq);
+
+    let grid = layout.grid();
+    let mut cell_label = vec![String::from("."); grid.len()];
+    for (&eq_idx, k) in eq_ids.iter().zip(0..) {
+        for &m in &layout.equation(eq_idx).members {
+            cell_label[grid.index(m)] = label(k, letters);
+        }
+        let _ = k;
+    }
+    for cell in grid.cells() {
+        if let CellKind::Parity(eq) = layout.kind(cell) {
+            cell_label[grid.index(cell)] = match local(eq) {
+                Some(k) => format!("[{}]", label(k, letters)),
+                None => "[ ]".to_string(),
+            };
+        }
+    }
+
+    let width = cell_label.iter().map(|s| s.len()).max().unwrap_or(1) + 1;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} (p={}) — {} parities",
+        layout.name(),
+        layout.prime(),
+        kind
+    );
+    for r in 0..grid.rows {
+        for c in 0..grid.cols {
+            let s = &cell_label[r * grid.cols + c];
+            let _ = write!(out, "{s:>width$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the data/parity map: `D` for data, the equation-kind initial for
+/// parities (`H`, `P`, `R`, `G`, `A` for horizontal, deployment, row,
+/// diagonal, anti-diagonal).
+pub fn render_kinds_map(layout: &CodeLayout) -> String {
+    let grid = layout.grid();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} (p={}) — element kinds",
+        layout.name(),
+        layout.prime()
+    );
+    for r in 0..grid.rows {
+        for c in 0..grid.cols {
+            let ch = match layout.kind(crate::grid::Cell::new(r, c)) {
+                CellKind::Data => 'D',
+                CellKind::Parity(eq) => match layout.equation(eq).kind {
+                    EquationKind::Horizontal => 'H',
+                    EquationKind::Deployment => 'P',
+                    EquationKind::Row => 'R',
+                    EquationKind::Diagonal => 'G',
+                    EquationKind::AntiDiagonal => 'A',
+                },
+            };
+            let _ = write!(out, " {ch}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an operation footprint, Figure-1 style: `*` marks requested or
+/// written elements, `o` marks extra elements read or written (recovery
+/// sources, parity updates), `x` marks lost elements on failed disks, `.`
+/// is untouched data and `·` untouched parity.
+pub fn render_footprint(
+    layout: &CodeLayout,
+    stars: &[crate::grid::Cell],
+    rounds: &[crate::grid::Cell],
+    failed_cols: &[usize],
+) -> String {
+    let grid = layout.grid();
+    let mut out = String::new();
+    for r in 0..grid.rows {
+        for c in 0..grid.cols {
+            let cell = crate::grid::Cell::new(r, c);
+            let ch = if stars.contains(&cell) {
+                if failed_cols.contains(&c) {
+                    'x'
+                } else {
+                    '*'
+                }
+            } else if rounds.contains(&cell) {
+                'o'
+            } else if failed_cols.contains(&c) {
+                '!'
+            } else if layout.kind(cell).is_parity() {
+                '·'
+            } else {
+                '.'
+            };
+            let _ = write!(out, " {ch}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcode::dcode;
+    use crate::grid::Cell;
+
+    #[test]
+    fn labels_count_up() {
+        assert_eq!(label(0, false), "0");
+        assert_eq!(label(12, false), "12");
+        assert_eq!(label(0, true), "A");
+        assert_eq!(label(6, true), "G");
+        assert_eq!(label(25, true), "Z");
+        assert_eq!(label(26, true), "AA");
+    }
+
+    #[test]
+    fn render_dcode_has_expected_shape() {
+        let l = dcode(7).unwrap();
+        let pic = render_kind(&l, EquationKind::Horizontal, false);
+        // Header + 7 rows.
+        assert_eq!(pic.lines().count(), 8);
+        // All parities of the horizontal row render as [k].
+        let parity_line = pic.lines().nth(6).unwrap(); // row n-2 = 5 → line 6
+        assert_eq!(parity_line.matches('[').count(), 7);
+        // The deployment parity row renders [ ] under horizontal view.
+        let last = pic.lines().nth(7).unwrap();
+        assert!(last.contains("[ ]"));
+    }
+
+    #[test]
+    fn footprint_symbols() {
+        let l = dcode(5).unwrap();
+        let pic = render_footprint(
+            &l,
+            &[Cell::new(0, 0), Cell::new(0, 1)],
+            &[Cell::new(3, 2)],
+            &[1],
+        );
+        let lines: Vec<&str> = pic.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with(" * x")); // requested; lost on failed disk
+        assert!(lines[3].contains('o')); // extra access
+        assert!(lines[1].contains('!')); // failed column
+        assert!(lines[4].contains('·')); // untouched parity
+    }
+
+    #[test]
+    fn kinds_map_marks_last_two_rows() {
+        let l = dcode(5).unwrap();
+        let pic = render_kinds_map(&l);
+        let lines: Vec<&str> = pic.lines().collect();
+        assert!(lines[1].trim().chars().all(|c| c == 'D' || c == ' '));
+        assert!(lines[4].contains('H'));
+        assert!(lines[5].contains('P'));
+    }
+}

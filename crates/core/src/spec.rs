@@ -1,0 +1,229 @@
+//! Textual code specifications — define an array code without recompiling.
+//!
+//! The whole toolchain (codec, simulators, recovery, array layer) is
+//! generic over [`CodeLayout`], so a code is just data. This module gives
+//! that data a text form:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! name    = Tiny
+//! prime   = 3
+//! rows    = 2
+//! cols    = 3
+//! row (0,2) = (0,0) (0,1)
+//! diagonal (1,2) = (1,0) (1,1) (0,2)
+//! ```
+//!
+//! One header block, then one line per equation: `<kind> <parity-cell> =
+//! <member-cell>…`. Kinds: `horizontal`, `deployment`, `row`, `diagonal`,
+//! `anti-diagonal`. [`parse_spec`] builds (and structurally validates) the
+//! layout; [`format_spec`] is its inverse. Fault tolerance is *not* implied
+//! — run [`crate::mds::verify_mds`] on anything you intend to trust.
+
+use crate::equation::EquationKind;
+use crate::grid::Cell;
+use crate::layout::{CodeLayout, LayoutBuilder};
+use std::fmt;
+
+/// Errors from [`parse_spec`], with 1-based line numbers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError {
+    /// Offending line (0 for document-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, reason: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_kind(s: &str) -> Option<EquationKind> {
+    match s {
+        "horizontal" => Some(EquationKind::Horizontal),
+        "deployment" => Some(EquationKind::Deployment),
+        "row" => Some(EquationKind::Row),
+        "diagonal" => Some(EquationKind::Diagonal),
+        "anti-diagonal" => Some(EquationKind::AntiDiagonal),
+        _ => None,
+    }
+}
+
+fn parse_cell(tok: &str, line: usize) -> Result<Cell, SpecError> {
+    let inner = tok
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| err(line, format!("expected (r,c), got '{tok}'")))?;
+    let (r, c) = inner
+        .split_once(',')
+        .ok_or_else(|| err(line, format!("expected (r,c), got '{tok}'")))?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| err(line, format!("bad coordinate in '{tok}'")))
+    };
+    Ok(Cell::new(parse(r)?, parse(c)?))
+}
+
+/// Parse a code specification into a validated [`CodeLayout`].
+pub fn parse_spec(text: &str) -> Result<CodeLayout, SpecError> {
+    let mut name: Option<String> = None;
+    let mut prime: Option<usize> = None;
+    let mut rows: Option<usize> = None;
+    let mut cols: Option<usize> = None;
+    let mut equations: Vec<(usize, EquationKind, Cell, Vec<Cell>)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some((key, value)) = stripped.split_once('=').and_then(|(k, v)| {
+            let k = k.trim();
+            matches!(k, "name" | "prime" | "rows" | "cols").then(|| (k, v.trim()))
+        }) {
+            match key {
+                "name" => name = Some(value.to_string()),
+                "prime" => {
+                    prime = Some(value.parse().map_err(|_| err(line_no, "bad prime value"))?)
+                }
+                "rows" => rows = Some(value.parse().map_err(|_| err(line_no, "bad rows value"))?),
+                "cols" => cols = Some(value.parse().map_err(|_| err(line_no, "bad cols value"))?),
+                _ => unreachable!("filtered above"),
+            }
+            continue;
+        }
+        // Equation line: "<kind> (r,c) = (r,c) (r,c) ..."
+        let (lhs, rhs) = stripped
+            .split_once('=')
+            .ok_or_else(|| err(line_no, "expected 'kind (r,c) = members…'"))?;
+        let mut lhs_parts = lhs.split_whitespace();
+        let kind_tok = lhs_parts
+            .next()
+            .ok_or_else(|| err(line_no, "missing equation kind"))?;
+        let kind = parse_kind(kind_tok)
+            .ok_or_else(|| err(line_no, format!("unknown equation kind '{kind_tok}'")))?;
+        let parity_tok = lhs_parts
+            .next()
+            .ok_or_else(|| err(line_no, "missing parity cell"))?;
+        if lhs_parts.next().is_some() {
+            return Err(err(line_no, "unexpected tokens before '='"));
+        }
+        let parity = parse_cell(parity_tok, line_no)?;
+        let members: Vec<Cell> = rhs
+            .split_whitespace()
+            .map(|tok| parse_cell(tok, line_no))
+            .collect::<Result<_, _>>()?;
+        if members.is_empty() {
+            return Err(err(line_no, "equation has no members"));
+        }
+        equations.push((line_no, kind, parity, members));
+    }
+
+    let rows = rows.ok_or_else(|| err(0, "missing 'rows' header"))?;
+    let cols = cols.ok_or_else(|| err(0, "missing 'cols' header"))?;
+    let mut b = LayoutBuilder::new(
+        name.unwrap_or_else(|| "custom".to_string()),
+        prime.unwrap_or(cols),
+        rows,
+        cols,
+    );
+    for (_, kind, parity, members) in &equations {
+        b.equation(*kind, *parity, members.clone());
+    }
+    b.build()
+        .map_err(|e| err(0, format!("invalid layout: {e}")))
+}
+
+/// Serialize a layout to the spec format ([`parse_spec`]'s inverse).
+pub fn format_spec(layout: &CodeLayout) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "name = {}\nprime = {}\nrows = {}\ncols = {}\n",
+        layout.name(),
+        layout.prime(),
+        layout.rows(),
+        layout.disks()
+    ));
+    for eq in layout.equations() {
+        out.push_str(&format!(
+            "{} ({},{}) =",
+            eq.kind, eq.parity.row, eq.parity.col
+        ));
+        for m in &eq.members {
+            out.push_str(&format!(" ({},{})", m.row, m.col));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcode::{canonical_equations, dcode};
+    use crate::mds::verify_mds;
+
+    #[test]
+    fn roundtrip_dcode() {
+        let original = dcode(7).unwrap();
+        let text = format_spec(&original);
+        let parsed = parse_spec(&text).unwrap();
+        assert_eq!(parsed.name(), "D-Code");
+        assert_eq!(parsed.prime(), 7);
+        assert_eq!(canonical_equations(&parsed), canonical_equations(&original));
+        verify_mds(&parsed).unwrap();
+    }
+
+    #[test]
+    fn hand_written_spec_parses() {
+        let text = "
+            # a RAID-4-oid toy
+            name = Tiny
+            rows = 2
+            cols = 3
+            row (0,2) = (0,0) (0,1)
+            row (1,2) = (1,0) (1,1)
+        ";
+        let l = parse_spec(text).unwrap();
+        assert_eq!(l.name(), "Tiny");
+        assert_eq!(l.data_len(), 4);
+        assert_eq!(l.equations().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad_kind = "rows = 1\ncols = 2\nzigzag (0,1) = (0,0)";
+        assert_eq!(parse_spec(bad_kind).unwrap_err().line, 3);
+
+        let bad_cell = "rows = 1\ncols = 2\nrow (0,1) = (0 0)";
+        assert_eq!(parse_spec(bad_cell).unwrap_err().line, 3);
+
+        let missing_header = "row (0,1) = (0,0)";
+        assert_eq!(parse_spec(missing_header).unwrap_err().line, 0);
+
+        let invalid_layout = "rows = 1\ncols = 3\nrow (0,2) = (0,0)"; // (0,1) unprotected
+        let e = parse_spec(invalid_layout).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.reason.contains("invalid layout"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nname = C # inline\nrows = 1\ncols = 2\n\nrow (0,1) = (0,0)\n";
+        let l = parse_spec(text).unwrap();
+        assert_eq!(l.name(), "C");
+    }
+}

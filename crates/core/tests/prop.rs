@@ -1,0 +1,131 @@
+//! Property-based tests for the core data structures: constructions,
+//! layouts, and the decoder, under randomized primes, erasures, and
+//! orderings.
+
+use dcode_core::dcode::{
+    canonical_equations, dcode, dcode_procedural, dcode_via_xcode_reordering, deployment_walk,
+    horizontal_walk, xcode,
+};
+use dcode_core::decoder::plan_recovery;
+use dcode_core::grid::Cell;
+use dcode_core::modmath::{inv_mod_prime, is_prime, md};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_paper_prime() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![5usize, 7, 11, 13, 17])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `md` behaves like mathematical mod for any inputs.
+    #[test]
+    fn md_in_range_and_congruent(a in -10_000i64..10_000, m in 1usize..500) {
+        let r = md(a, m);
+        prop_assert!(r < m);
+        // r ≡ a (mod m)
+        prop_assert_eq!((a - r as i64).rem_euclid(m as i64), 0);
+    }
+
+    /// Modular inverse really inverts for arbitrary primes in range.
+    #[test]
+    fn inverse_inverts(p in prop::sample::select(vec![5usize, 7, 11, 13, 17, 19, 23]),
+                       a in 1usize..1000) {
+        prop_assume!(a % p != 0);
+        let inv = inv_mod_prime(a, p);
+        prop_assert_eq!((a % p) * inv % p, 1);
+    }
+
+    /// is_prime matches a naive sieve.
+    #[test]
+    fn primality_matches_naive(n in 0usize..2000) {
+        let naive = n >= 2 && (2..n).all(|d| n % d != 0);
+        prop_assert_eq!(is_prime(n), naive);
+    }
+
+    /// Both walks are permutations of the data cells at every prime.
+    #[test]
+    fn walks_are_permutations(n in arb_paper_prime()) {
+        for walk in [horizontal_walk(n), deployment_walk(n)] {
+            let set: BTreeSet<Cell> = walk.iter().copied().collect();
+            prop_assert_eq!(set.len(), n * (n - 2));
+            prop_assert!(set.iter().all(|c| c.row < n - 2 && c.col < n));
+        }
+    }
+
+    /// The three constructions agree at every prime (Theorem 1 + the
+    /// procedural description), not just the paper's examples.
+    #[test]
+    fn constructions_agree(n in arb_paper_prime()) {
+        let a = canonical_equations(&dcode(n).unwrap());
+        prop_assert_eq!(&a, &canonical_equations(&dcode_procedural(n).unwrap()));
+        prop_assert_eq!(&a, &canonical_equations(&dcode_via_xcode_reordering(n).unwrap()));
+    }
+
+    /// Any subset of cells confined to at most two columns is recoverable,
+    /// and the plan's targets are exactly the erased cells.
+    #[test]
+    fn partial_two_column_erasures_recover(
+        n in arb_paper_prime(),
+        c1 in 0usize..17,
+        c2 in 0usize..17,
+        mask in any::<u64>(),
+    ) {
+        let layout = dcode(n).unwrap();
+        let (c1, c2) = (c1 % n, c2 % n);
+        let cells: Vec<Cell> = layout
+            .grid()
+            .cells()
+            .filter(|c| c.col == c1 || c.col == c2)
+            .collect();
+        let erased: BTreeSet<Cell> = cells
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, &c)| c)
+            .collect();
+        let plan = plan_recovery(&layout, &erased).unwrap();
+        let targets: BTreeSet<Cell> = plan.steps.iter().map(|s| s.target).collect();
+        prop_assert_eq!(targets, erased);
+    }
+
+    /// Every D-Code recovery step costs exactly n−3 XORs — the optimal
+    /// decode complexity — regardless of which columns fail.
+    #[test]
+    fn per_step_xor_cost_is_optimal(n in arb_paper_prime(), c1 in 0usize..17, c2 in 0usize..17) {
+        let layout = dcode(n).unwrap();
+        let (c1, c2) = (c1 % n, c2 % n);
+        prop_assume!(c1 != c2);
+        let erased: BTreeSet<Cell> = layout
+            .grid()
+            .cells()
+            .filter(|c| c.col == c1 || c.col == c2)
+            .collect();
+        let plan = plan_recovery(&layout, &erased).unwrap();
+        prop_assert!(plan.is_pure_peeling());
+        for step in &plan.steps {
+            prop_assert_eq!(step.sources.len(), n - 2);
+        }
+    }
+
+    /// X-Code and D-Code recovery plans have identical step counts and XOR
+    /// totals for the same failed columns (Theorem 1 at the decoder level).
+    #[test]
+    fn theorem1_extends_to_recovery_costs(n in arb_paper_prime(), c1 in 0usize..17, c2 in 0usize..17) {
+        let (c1, c2) = (c1 % n, c2 % n);
+        prop_assume!(c1 != c2);
+        let erase = |layout: &dcode_core::layout::CodeLayout| {
+            let erased: BTreeSet<Cell> = layout
+                .grid()
+                .cells()
+                .filter(|c| c.col == c1 || c.col == c2)
+                .collect();
+            plan_recovery(layout, &erased).unwrap()
+        };
+        let d = erase(&dcode(n).unwrap());
+        let x = erase(&xcode(n).unwrap());
+        prop_assert_eq!(d.steps.len(), x.steps.len());
+        prop_assert_eq!(d.xor_count(), x.xor_count());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # dcode-iosim
+//!
+//! The I/O-load simulation of the D-Code paper's Section IV: generate
+//! `<S, L, T>` workloads ([`workload`]), account element accesses per disk
+//! under normal reads, degraded reads, and read-modify-write partial-stripe
+//! writes ([`access`]), execute whole workloads ([`sim`]), and compute the
+//! two metrics the paper reports ([`metrics`]): the load-balancing factor
+//! `LF` (Figure 4) and the total I/O cost (Figure 5).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dcode_core::dcode::dcode;
+//! use dcode_iosim::workload::{generate, WorkloadKind, WorkloadParams};
+//! use dcode_iosim::sim::run_workload;
+//!
+//! let code = dcode(7).unwrap();
+//! let ops = generate(WorkloadKind::Mixed, code.data_len(),
+//!                    WorkloadParams::default(), 42);
+//! let result = run_workload(&code, &ops);
+//! assert!(result.lf() < 1.2);   // D-Code balances mixed workloads well
+//! ```
+
+pub mod access;
+pub mod metrics;
+pub mod sim;
+pub mod trace;
+pub mod workload;
+
+pub use access::{
+    degraded_read_accesses, degraded_write_accesses, double_degraded_read_accesses,
+    normal_read_accesses, plan_degraded_segment, write_accesses, DegradedSegmentPlan, DiskAccesses,
+};
+pub use metrics::{io_cost, lf_display, load_balancing_factor};
+pub use sim::{run_workload, run_workload_degraded, run_workload_parallel, SimResult};
+pub use trace::{format_trace, parse_trace, zipf_trace, TraceParseError, ZipfTraceParams};
+pub use workload::{generate, Op, OpKind, WorkloadKind, WorkloadParams};

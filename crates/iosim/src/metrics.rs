@@ -1,0 +1,81 @@
+//! The paper's two I/O-load metrics (Section IV-B).
+
+use crate::access::DiskAccesses;
+
+/// Load-balancing factor `LF = L_max / L_min` (equation (8) of the paper).
+/// `f64::INFINITY` when some disk receives no I/O at all — the paper plots
+/// this as the y-axis cap of 30.
+pub fn load_balancing_factor(acc: &DiskAccesses) -> f64 {
+    let max = acc.per_disk.iter().copied().max().unwrap_or(0);
+    let min = acc.per_disk.iter().copied().min().unwrap_or(0);
+    if min == 0 {
+        if max == 0 {
+            1.0 // no I/O at all: trivially balanced
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max as f64 / min as f64
+    }
+}
+
+/// Total I/O cost `Cost = Σ L(i)` (equation (9) of the paper).
+pub fn io_cost(acc: &DiskAccesses) -> u64 {
+    acc.total()
+}
+
+/// The value the paper's Figure 4 plots for a possibly-infinite LF
+/// (the y-axis uses 30 to represent infinity).
+pub fn lf_display(lf: f64) -> f64 {
+    if lf.is_finite() {
+        lf
+    } else {
+        30.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lf_of_balanced_load_is_one() {
+        let acc = DiskAccesses {
+            per_disk: vec![10, 10, 10],
+        };
+        assert_eq!(load_balancing_factor(&acc), 1.0);
+    }
+
+    #[test]
+    fn lf_with_idle_disk_is_infinite() {
+        let acc = DiskAccesses {
+            per_disk: vec![10, 0, 10],
+        };
+        assert!(load_balancing_factor(&acc).is_infinite());
+        assert_eq!(lf_display(load_balancing_factor(&acc)), 30.0);
+    }
+
+    #[test]
+    fn lf_ratio() {
+        let acc = DiskAccesses {
+            per_disk: vec![30, 10, 20],
+        };
+        assert_eq!(load_balancing_factor(&acc), 3.0);
+    }
+
+    #[test]
+    fn no_io_is_trivially_balanced() {
+        let acc = DiskAccesses {
+            per_disk: vec![0, 0],
+        };
+        assert_eq!(load_balancing_factor(&acc), 1.0);
+    }
+
+    #[test]
+    fn cost_is_total() {
+        let acc = DiskAccesses {
+            per_disk: vec![3, 4, 5],
+        };
+        assert_eq!(io_cost(&acc), 12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Workload execution: accumulate per-disk accesses over an op list.
+
+use crate::access::{degraded_read_accesses, normal_read_accesses, write_accesses, DiskAccesses};
+use crate::metrics::{io_cost, load_balancing_factor};
+use crate::workload::{Op, OpKind};
+use dcode_core::layout::CodeLayout;
+
+/// Aggregate result of running a workload against one code.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Code name.
+    pub code: String,
+    /// Prime parameter.
+    pub prime: usize,
+    /// Accumulated per-disk accesses.
+    pub accesses: DiskAccesses,
+}
+
+impl SimResult {
+    /// Load-balancing factor of the accumulated load.
+    pub fn lf(&self) -> f64 {
+        load_balancing_factor(&self.accesses)
+    }
+
+    /// Total I/O cost of the accumulated load.
+    pub fn cost(&self) -> u64 {
+        io_cost(&self.accesses)
+    }
+}
+
+/// Run a workload in normal mode (no failures) — the setting of the
+/// paper's Figures 4 and 5.
+pub fn run_workload(layout: &CodeLayout, ops: &[Op]) -> SimResult {
+    let mut acc = DiskAccesses::zero(layout.disks());
+    for op in ops {
+        let one = match op.kind {
+            OpKind::Read => normal_read_accesses(layout, op.start, op.len),
+            OpKind::Write => write_accesses(layout, op.start, op.len),
+        };
+        acc.add_scaled(&one, op.times as u64);
+    }
+    SimResult {
+        code: layout.name().to_string(),
+        prime: layout.prime(),
+        accesses: acc,
+    }
+}
+
+/// [`run_workload`] fanned out over crossbeam scoped threads — ops are
+/// independent, so each worker accounts a chunk and the per-disk counters
+/// are summed. Identical results to the sequential version; used by the
+/// large parameter sweeps.
+pub fn run_workload_parallel(layout: &CodeLayout, ops: &[Op], threads: usize) -> SimResult {
+    let threads = threads.max(1);
+    if threads == 1 || ops.len() < 64 {
+        return run_workload(layout, ops);
+    }
+    let chunk = ops.len().div_ceil(threads);
+    let partials: Vec<DiskAccesses> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ops
+            .chunks(chunk)
+            .map(|part| scope.spawn(move |_| run_workload(layout, part).accesses))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sim worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    let mut acc = DiskAccesses::zero(layout.disks());
+    for p in &partials {
+        acc.add_scaled(p, 1);
+    }
+    SimResult {
+        code: layout.name().to_string(),
+        prime: layout.prime(),
+        accesses: acc,
+    }
+}
+
+/// Run a read workload in degraded mode with one failed disk — used by the
+/// degraded-read analyses. Write ops are accounted as in normal mode.
+pub fn run_workload_degraded(layout: &CodeLayout, ops: &[Op], failed_col: usize) -> SimResult {
+    let mut acc = DiskAccesses::zero(layout.disks());
+    for op in ops {
+        let one = match op.kind {
+            OpKind::Read => degraded_read_accesses(layout, op.start, op.len, failed_col),
+            OpKind::Write => write_accesses(layout, op.start, op.len),
+        };
+        acc.add_scaled(&one, op.times as u64);
+    }
+    SimResult {
+        code: layout.name().to_string(),
+        prime: layout.prime(),
+        accesses: acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadKind, WorkloadParams};
+    use dcode_core::dcode::dcode;
+
+    #[test]
+    fn read_only_cost_equals_elements_requested() {
+        // Reads bring no extra accesses: Cost = Σ len·times.
+        let l = dcode(7).unwrap();
+        let ops = generate(
+            WorkloadKind::ReadOnly,
+            l.data_len(),
+            WorkloadParams::default(),
+            5,
+        );
+        let expected: u64 = ops.iter().map(|o| (o.len * o.times) as u64).sum();
+        let res = run_workload(&l, &ops);
+        assert_eq!(res.cost(), expected);
+    }
+
+    #[test]
+    fn dcode_read_only_is_well_balanced() {
+        let l = dcode(11).unwrap();
+        let ops = generate(
+            WorkloadKind::ReadOnly,
+            l.data_len(),
+            WorkloadParams::default(),
+            5,
+        );
+        let res = run_workload(&l, &ops);
+        assert!(res.lf() < 1.1, "LF = {}", res.lf());
+    }
+
+    #[test]
+    fn parallel_workload_matches_sequential() {
+        let l = dcode(11).unwrap();
+        let ops = generate(
+            WorkloadKind::Mixed,
+            l.data_len(),
+            WorkloadParams::default(),
+            77,
+        );
+        let seq = run_workload(&l, &ops);
+        for threads in [2usize, 3, 8] {
+            let par = run_workload_parallel(&l, &ops, threads);
+            assert_eq!(par.accesses, seq.accesses, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degraded_cost_exceeds_normal_cost() {
+        let l = dcode(7).unwrap();
+        let ops = generate(
+            WorkloadKind::ReadOnly,
+            l.data_len(),
+            WorkloadParams::default(),
+            9,
+        );
+        let normal = run_workload(&l, &ops);
+        let degraded = run_workload_degraded(&l, &ops, 2);
+        assert!(degraded.cost() > normal.cost());
+    }
+}

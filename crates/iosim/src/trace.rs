@@ -1,0 +1,258 @@
+//! Trace-driven workloads.
+//!
+//! Beyond the paper's synthetic `<S, L, T>` tuples, real storage studies
+//! replay block traces. This module parses a simple, SPC-1-inspired text
+//! format — one access per line, `offset_elements,length_elements,R|W`
+//! (`#` comments allowed) — and converts traces into the simulator's [`Op`]
+//! stream. A Zipf-skewed synthetic trace generator is included for studies
+//! where a real trace is unavailable: hot-spot skew is the property that
+//! distinguishes trace replay from the paper's uniform tuples.
+
+use crate::workload::{Op, OpKind};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Trace parsing errors, with 1-based line numbers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceParseError {
+    /// 1-based line of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parse a trace text into ops (each record runs once: `T = 1`).
+pub fn parse_trace(text: &str) -> Result<Vec<Op>, TraceParseError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = stripped.split(',').map(str::trim).collect();
+        let [off, len, kind] = fields.as_slice() else {
+            return Err(TraceParseError {
+                line,
+                reason: format!("expected 'offset,length,R|W', got '{stripped}'"),
+            });
+        };
+        let start: usize = off.parse().map_err(|_| TraceParseError {
+            line,
+            reason: format!("bad offset '{off}'"),
+        })?;
+        let len: usize = len.parse().map_err(|_| TraceParseError {
+            line,
+            reason: format!("bad length '{len}'"),
+        })?;
+        if len == 0 {
+            return Err(TraceParseError {
+                line,
+                reason: "zero-length access".into(),
+            });
+        }
+        let kind = match *kind {
+            "R" | "r" => OpKind::Read,
+            "W" | "w" => OpKind::Write,
+            other => {
+                return Err(TraceParseError {
+                    line,
+                    reason: format!("bad kind '{other}' (want R or W)"),
+                })
+            }
+        };
+        ops.push(Op {
+            kind,
+            start,
+            len,
+            times: 1,
+        });
+    }
+    Ok(ops)
+}
+
+/// Render ops back to the trace text format (inverse of [`parse_trace`]
+/// for `T = 1` ops; repeated ops are expanded).
+pub fn format_trace(ops: &[Op]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        for _ in 0..op.times {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                op.start,
+                op.len,
+                if op.kind == OpKind::Read { 'R' } else { 'W' }
+            ));
+        }
+    }
+    out
+}
+
+/// Parameters for the synthetic Zipf trace generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfTraceParams {
+    /// Number of records.
+    pub n_ops: usize,
+    /// Fraction of reads (0.0–1.0).
+    pub read_fraction: f64,
+    /// Zipf exponent over hot spots (0 = uniform).
+    pub skew: f64,
+    /// Number of distinct hot spots the offsets cluster around.
+    pub hot_spots: usize,
+    /// Inclusive access-length range in elements.
+    pub len_range: (usize, usize),
+}
+
+impl Default for ZipfTraceParams {
+    fn default() -> Self {
+        ZipfTraceParams {
+            n_ops: 2000,
+            read_fraction: 0.7,
+            skew: 1.2,
+            hot_spots: 16,
+            len_range: (1, 20),
+        }
+    }
+}
+
+/// Generate a Zipf-skewed synthetic trace over `data_len` logical elements.
+pub fn zipf_trace(data_len: usize, params: ZipfTraceParams, seed: u64) -> Vec<Op> {
+    assert!(data_len > 0 && params.hot_spots > 0);
+    assert!(params.len_range.0 >= 1 && params.len_range.0 <= params.len_range.1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Precompute the Zipf CDF over hot spots.
+    let weights: Vec<f64> = (0..params.hot_spots)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(params.skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    // Hot-spot base offsets spread deterministically over the address space.
+    let bases: Vec<usize> = (0..params.hot_spots)
+        .map(|i| i * data_len / params.hot_spots)
+        .collect();
+
+    let unit = |rng: &mut StdRng| rng.next_u64() as f64 / u64::MAX as f64;
+    (0..params.n_ops)
+        .map(|_| {
+            let u = unit(&mut rng);
+            let spot = cdf
+                .iter()
+                .position(|&c| u <= c)
+                .unwrap_or(params.hot_spots - 1);
+            // Small jitter around the hot spot keeps accesses clustered.
+            let jitter_span = (data_len / params.hot_spots).max(1);
+            let jitter = (rng.next_u64() % jitter_span as u64) as usize;
+            let start = (bases[spot] + jitter) % data_len;
+            let len_span = (params.len_range.1 - params.len_range.0 + 1) as u64;
+            let len = params.len_range.0 + (rng.next_u64() % len_span) as usize;
+            let kind = if unit(&mut rng) < params.read_fraction {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            Op {
+                kind,
+                start,
+                len,
+                times: 1,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment line\n0,4,R\n12, 3 ,W # trailing comment\n\n7,1,r\n";
+        let ops = parse_trace(text).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                Op {
+                    kind: OpKind::Read,
+                    start: 0,
+                    len: 4,
+                    times: 1
+                },
+                Op {
+                    kind: OpKind::Write,
+                    start: 12,
+                    len: 3,
+                    times: 1
+                },
+                Op {
+                    kind: OpKind::Read,
+                    start: 7,
+                    len: 1,
+                    times: 1
+                },
+            ]
+        );
+        let reparsed = parse_trace(&format_trace(&ops)).unwrap();
+        assert_eq!(reparsed, ops);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(parse_trace("0,4").unwrap_err().line, 1);
+        assert_eq!(parse_trace("0,4,R\nx,4,R").unwrap_err().line, 2);
+        assert_eq!(parse_trace("0,0,R").unwrap_err().line, 1);
+        assert_eq!(parse_trace("0,4,Q").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn zipf_trace_is_deterministic_and_in_range() {
+        let a = zipf_trace(100, ZipfTraceParams::default(), 5);
+        let b = zipf_trace(100, ZipfTraceParams::default(), 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2000);
+        assert!(a.iter().all(|o| o.start < 100 && (1..=20).contains(&o.len)));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_accesses() {
+        let skewed = zipf_trace(
+            1000,
+            ZipfTraceParams {
+                skew: 3.0,
+                ..Default::default()
+            },
+            7,
+        );
+        // With strong skew, a large share of ops start near hot spot 0.
+        let near_head = skewed.iter().filter(|o| o.start < 1000 / 16).count();
+        assert!(
+            near_head > skewed.len() / 2,
+            "{near_head} of {} ops near the hottest spot",
+            skewed.len()
+        );
+    }
+
+    #[test]
+    fn trace_feeds_the_simulator() {
+        use crate::sim::run_workload;
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let ops = zipf_trace(layout.data_len(), ZipfTraceParams::default(), 11);
+        let res = run_workload(&layout, &ops);
+        assert!(res.cost() > 0);
+        assert!(res.lf() >= 1.0);
+    }
+}

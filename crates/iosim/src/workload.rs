@@ -1,0 +1,171 @@
+//! Workload generation (Section IV-A of the paper).
+//!
+//! Each operation is a 3-tuple `<S, L, T>`: starting logical data element,
+//! length in elements, and repeat count. The paper evaluates three workload
+//! classes — read-only (cloud storage), read-intensive 7:3 (SSD arrays),
+//! and read-write 1:1 (traditional file systems) — each with 2000 random
+//! tuples, `S` uniform over the stripe, `L ∈ 1..=20`, `T ∈ 1..=1000`.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Read or write.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Read `L` continuous data elements.
+    Read,
+    /// Write `L` continuous data elements (read-modify-write).
+    Write,
+}
+
+/// One `<S, L, T>` operation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Op {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Starting logical data element (`0..data_len` of the target stripe).
+    pub start: usize,
+    /// Number of continuous data elements.
+    pub len: usize,
+    /// How many times the operation repeats.
+    pub times: usize,
+}
+
+/// The paper's three workload classes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// 100% reads (cloud storage systems).
+    ReadOnly,
+    /// Reads : writes = 7 : 3 (SSD arrays).
+    ReadIntensive,
+    /// Reads : writes = 1 : 1 (traditional file systems on disk arrays).
+    Mixed,
+}
+
+impl WorkloadKind {
+    /// Human-readable name matching the paper's figure captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::ReadOnly => "Read-Only",
+            WorkloadKind::ReadIntensive => "Read-Intensive",
+            WorkloadKind::Mixed => "Read-Write Evenly Mixed",
+        }
+    }
+
+    /// Probability that an operation is a read.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            WorkloadKind::ReadOnly => 1.0,
+            WorkloadKind::ReadIntensive => 0.7,
+            WorkloadKind::Mixed => 0.5,
+        }
+    }
+
+    /// All three classes, in the paper's figure order.
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::ReadOnly,
+        WorkloadKind::ReadIntensive,
+        WorkloadKind::Mixed,
+    ];
+}
+
+/// Parameters of the random tuple generator; defaults match Section IV-A.
+#[derive(Copy, Clone, Debug)]
+pub struct WorkloadParams {
+    /// Number of `<S, L, T>` tuples.
+    pub n_ops: usize,
+    /// Inclusive range of `L`.
+    pub len_range: (usize, usize),
+    /// Inclusive range of `T`.
+    pub times_range: (usize, usize),
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        // "2000 different 3-tuples … the range of L is 1 to 20 data
+        // elements … the range of T is 1 to 1000."
+        WorkloadParams {
+            n_ops: 2000,
+            len_range: (1, 20),
+            times_range: (1, 1000),
+        }
+    }
+}
+
+/// Generate a reproducible workload against a stripe with `data_len`
+/// logical data elements.
+pub fn generate(kind: WorkloadKind, data_len: usize, params: WorkloadParams, seed: u64) -> Vec<Op> {
+    assert!(data_len > 0);
+    assert!(params.len_range.0 >= 1 && params.len_range.0 <= params.len_range.1);
+    assert!(params.times_range.0 >= 1 && params.times_range.0 <= params.times_range.1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw via raw 64-bit samples (fixed RNG consumption) so that two codes
+    // with different stripe sizes see the *same* op kinds, lengths, and
+    // repeat counts from the same seed — only the start offsets scale.
+    // This matches the paper's observation that all codes incur identical
+    // cost under read-only workloads (the modulo bias at 2^64 scale is
+    // negligible).
+    (0..params.n_ops)
+        .map(|_| {
+            let is_read = (rng.next_u64() as f64 / u64::MAX as f64) < kind.read_fraction();
+            let start = (rng.next_u64() % data_len as u64) as usize;
+            let len_span = (params.len_range.1 - params.len_range.0 + 1) as u64;
+            let len = params.len_range.0 + (rng.next_u64() % len_span) as usize;
+            let t_span = (params.times_range.1 - params.times_range.0 + 1) as u64;
+            let times = params.times_range.0 + (rng.next_u64() % t_span) as usize;
+            Op {
+                kind: if is_read { OpKind::Read } else { OpKind::Write },
+                start,
+                len,
+                times,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(WorkloadKind::Mixed, 35, WorkloadParams::default(), 42);
+        let b = generate(WorkloadKind::Mixed, 35, WorkloadParams::default(), 42);
+        assert_eq!(a, b);
+        let c = generate(WorkloadKind::Mixed, 35, WorkloadParams::default(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_only_is_all_reads() {
+        let ops = generate(WorkloadKind::ReadOnly, 35, WorkloadParams::default(), 1);
+        assert!(ops.iter().all(|o| o.kind == OpKind::Read));
+    }
+
+    #[test]
+    fn ratios_approximately_hold() {
+        let ops = generate(
+            WorkloadKind::ReadIntensive,
+            35,
+            WorkloadParams::default(),
+            7,
+        );
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.7).abs() < 0.05, "read fraction {frac}");
+
+        let ops = generate(WorkloadKind::Mixed, 35, WorkloadParams::default(), 7);
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "read fraction {frac}");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let ops = generate(WorkloadKind::Mixed, 35, WorkloadParams::default(), 3);
+        assert!(ops.iter().all(|o| (1..=20).contains(&o.len)));
+        assert!(ops.iter().all(|o| (1..=1000).contains(&o.times)));
+        assert!(ops.iter().all(|o| o.start < 35));
+        assert_eq!(ops.len(), 2000);
+    }
+}

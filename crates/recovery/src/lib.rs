@@ -1,0 +1,343 @@
+#![warn(missing_docs)]
+//! # dcode-recovery
+//!
+//! Single-disk failure recovery optimization (Section III-D's last claim).
+//!
+//! Rebuilding a failed disk conventionally recovers every lost data element
+//! through one fixed parity family, reading that equation's surviving
+//! members. Xu et al. (IEEE ToC 2013) showed that *mixing* the two parity
+//! families — choosing per lost element which equation to use so that the
+//! chosen equations overlap in the surviving elements they read — cuts disk
+//! reads by about 25% for X-Code. The D-Code paper claims the same saving
+//! carries over to D-Code by Theorem 1. This crate implements both the
+//! conventional scheme and an exact minimum-read hybrid optimizer (exhaustive
+//! over the 2^(n−2) family assignments, with a greedy + local-search
+//! fallback for large stripes) and measures the saving for every code.
+
+use dcode_core::grid::Cell;
+use dcode_core::layout::CodeLayout;
+use std::collections::BTreeSet;
+
+/// One recovery option for a lost cell: the equation index and the
+/// surviving cells it reads.
+type EqOption = (usize, BTreeSet<Cell>);
+/// All recovery options for every lost cell of a failed column.
+type ColumnOptions = Vec<(Cell, Vec<EqOption>)>;
+
+/// The read set of one whole-disk rebuild.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RebuildPlan {
+    /// The failed disk.
+    pub failed_col: usize,
+    /// Chosen equation per lost *data* cell (parity cells always use their
+    /// own stored equation).
+    pub choices: Vec<(Cell, usize)>,
+    /// Surviving cells read from disk, deduplicated (a recovery engine with
+    /// a shared stripe buffer reads each element once).
+    pub reads: BTreeSet<Cell>,
+    /// Total reads when every chosen equation streams its members
+    /// independently, with no shared cache — the *conventional* scheme's
+    /// accounting in Xiang et al. (RDP) and Xu et al. (X-Code).
+    pub reads_with_multiplicity: usize,
+}
+
+impl RebuildPlan {
+    /// Number of element reads issued with a shared stripe buffer.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+}
+
+/// Candidate equations and their read sets for each lost cell of a column.
+fn column_options(layout: &CodeLayout, failed_col: usize) -> ColumnOptions {
+    layout
+        .grid()
+        .column(failed_col)
+        .map(|cell| {
+            let eqs: Vec<usize> = match layout.storing_eq(cell) {
+                // A lost parity is recomputed from its own equation.
+                Some(eq) => vec![eq],
+                None => layout.member_eqs(cell).to_vec(),
+            };
+            assert!(!eqs.is_empty(), "cell {cell} has no recovery equation");
+            let options = eqs
+                .into_iter()
+                .map(|eq_idx| {
+                    let reads: BTreeSet<Cell> = layout
+                        .equation(eq_idx)
+                        .cells()
+                        .filter(|&c| c.col != failed_col)
+                        .collect();
+                    (eq_idx, reads)
+                })
+                .collect();
+            (cell, options)
+        })
+        .collect()
+}
+
+fn assemble(
+    failed_col: usize,
+    options: &ColumnOptions,
+    pick: impl Fn(usize) -> usize,
+) -> RebuildPlan {
+    let mut reads = BTreeSet::new();
+    let mut choices = Vec::with_capacity(options.len());
+    let mut with_multiplicity = 0;
+    for (i, (cell, opts)) in options.iter().enumerate() {
+        let (eq_idx, set) = &opts[pick(i)];
+        choices.push((*cell, *eq_idx));
+        with_multiplicity += set.len();
+        reads.extend(set.iter().copied());
+    }
+    RebuildPlan {
+        failed_col,
+        choices,
+        reads,
+        reads_with_multiplicity: with_multiplicity,
+    }
+}
+
+/// Conventional rebuild: every lost data element uses its *first* parity
+/// family (the horizontal/row equation for every code in this workspace,
+/// or the diagonal family for X-Code, matching the conventional schemes in
+/// the literature).
+pub fn conventional_rebuild(layout: &CodeLayout, failed_col: usize) -> RebuildPlan {
+    let options = column_options(layout, failed_col);
+    assemble(failed_col, &options, |_| 0)
+}
+
+/// Exact minimum-read hybrid rebuild.
+///
+/// Exhaustive over all family assignments when the product of choice counts
+/// is at most `2^20`; otherwise greedy seeding plus 1-flip local search
+/// (which is already optimal in practice for these codes' structure).
+pub fn optimal_rebuild(layout: &CodeLayout, failed_col: usize) -> RebuildPlan {
+    let options = column_options(layout, failed_col);
+    let combos: f64 = options.iter().map(|(_, o)| o.len() as f64).product();
+
+    if combos <= (1 << 20) as f64 {
+        let mut idx = vec![0usize; options.len()];
+        let mut best_idx = idx.clone();
+        let mut best_count = usize::MAX;
+        loop {
+            let mut reads: BTreeSet<Cell> = BTreeSet::new();
+            for (k, &i) in idx.iter().enumerate() {
+                reads.extend(options[k].1[i].1.iter().copied());
+            }
+            if reads.len() < best_count {
+                best_count = reads.len();
+                best_idx = idx.clone();
+            }
+            // Mixed-radix increment.
+            let mut k = 0;
+            loop {
+                if k == idx.len() {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] < options[k].1.len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == idx.len() {
+                break;
+            }
+        }
+        assemble(failed_col, &options, |i| best_idx[i])
+    } else {
+        // Greedy: process cells in order, picking the option overlapping
+        // best with the accumulated read set; then 1-flip local search.
+        let mut pick = vec![0usize; options.len()];
+        let mut reads: BTreeSet<Cell> = BTreeSet::new();
+        for (k, (_, opts)) in options.iter().enumerate() {
+            let (i, (_, set)) = opts
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, set))| set.difference(&reads).count())
+                .expect("non-empty options");
+            pick[k] = i;
+            reads.extend(set.iter().copied());
+        }
+        let union_count = |pick: &[usize]| -> usize {
+            let mut u: BTreeSet<Cell> = BTreeSet::new();
+            for (k, &i) in pick.iter().enumerate() {
+                u.extend(options[k].1[i].1.iter().copied());
+            }
+            u.len()
+        };
+        let mut best = union_count(&pick);
+        loop {
+            let mut improved = false;
+            for k in 0..pick.len() {
+                let orig = pick[k];
+                for alt in 0..options[k].1.len() {
+                    if alt == orig {
+                        continue;
+                    }
+                    pick[k] = alt;
+                    let c = union_count(&pick);
+                    if c < best {
+                        best = c;
+                        improved = true;
+                    } else {
+                        pick[k] = orig;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        assemble(failed_col, &options, |i| pick[i])
+    }
+}
+
+/// Savings summary over every failed-disk case of one code.
+#[derive(Clone, Debug)]
+pub struct RecoverySavings {
+    /// Code name.
+    pub code: String,
+    /// Prime parameter.
+    pub prime: usize,
+    /// Mean conventional reads per failed-disk rebuild.
+    pub conventional_reads: f64,
+    /// Mean optimized reads per failed-disk rebuild.
+    pub optimized_reads: f64,
+}
+
+impl RecoverySavings {
+    /// Percentage of reads saved by the hybrid scheme.
+    pub fn reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.optimized_reads / self.conventional_reads)
+    }
+}
+
+/// Measure conventional vs optimal rebuild reads averaged over all disks.
+///
+/// The conventional scheme streams each equation independently (reads with
+/// multiplicity, no shared cache); the optimized scheme both chooses
+/// equation families to overlap *and* reads each element once. This is the
+/// comparison behind Xu et al.'s ≈25% figure for X-Code, which Section
+/// III-D carries over to D-Code.
+pub fn measure_savings(layout: &CodeLayout) -> RecoverySavings {
+    let disks = layout.disks();
+    let mut conv = 0usize;
+    let mut opt = 0usize;
+    for col in 0..disks {
+        let c = conventional_rebuild(layout, col).reads_with_multiplicity;
+        let o = optimal_rebuild(layout, col).read_count();
+        debug_assert!(o <= c);
+        conv += c;
+        opt += o;
+    }
+    RecoverySavings {
+        code: layout.name().to_string(),
+        prime: layout.prime(),
+        conventional_reads: conv as f64 / disks as f64,
+        optimized_reads: opt as f64 / disks as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_core::dcode::{dcode, xcode};
+
+    #[test]
+    fn optimal_never_exceeds_conventional() {
+        for n in [5usize, 7, 11, 13] {
+            let l = dcode(n).unwrap();
+            for col in 0..n {
+                let c = conventional_rebuild(&l, col).read_count();
+                let o = optimal_rebuild(&l, col).read_count();
+                assert!(o <= c, "n={n} col={col}: {o} > {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn xcode_hybrid_saves_about_a_quarter() {
+        // Xu et al.: ~25% fewer reads for X-Code single-failure recovery.
+        for n in [7usize, 11, 13] {
+            let s = measure_savings(&xcode(n).unwrap());
+            assert!(
+                s.reduction_pct() > 15.0 && s.reduction_pct() < 35.0,
+                "n={n}: {:.1}%",
+                s.reduction_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn dcode_savings_match_xcode() {
+        // Theorem 1: identical structure ⇒ identical savings.
+        for n in [5usize, 7, 11, 13] {
+            let d = measure_savings(&dcode(n).unwrap());
+            let x = measure_savings(&xcode(n).unwrap());
+            assert!(
+                (d.reduction_pct() - x.reduction_pct()).abs() < 1e-9,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn conventional_reads_whole_stripe_for_dcode() {
+        // Rebuilding via horizontal equations only: each of the n−2 lost
+        // data elements reads its n−3 surviving members + 1 parity, and the
+        // 2 lost parities read their members. The union is large.
+        let l = dcode(7).unwrap();
+        let plan = conventional_rebuild(&l, 0);
+        assert!(plan.read_count() > 20);
+        // No read comes from the failed disk.
+        assert!(plan.reads.iter().all(|c| c.col != 0));
+    }
+
+    #[test]
+    fn greedy_path_engages_for_large_stripes_and_stays_sane() {
+        // n = 29 → 2^27 assignments: beyond the exhaustive cap, so the
+        // greedy + local-search fallback runs. It must still beat the
+        // conventional multiplicity count by a healthy margin.
+        let l = dcode(29).unwrap();
+        let conv = conventional_rebuild(&l, 0);
+        let opt = optimal_rebuild(&l, 0);
+        assert!(opt.read_count() <= conv.reads_with_multiplicity);
+        let reduction = 1.0 - opt.read_count() as f64 / conv.reads_with_multiplicity as f64;
+        assert!(
+            reduction > 0.2,
+            "greedy reduction only {:.1}%",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn conventional_reads_match_closed_form_for_dcode() {
+        // Every lost element's equation reads n−2 surviving cells; a lost
+        // column holds n cells → n(n−2) reads with multiplicity.
+        for n in [5usize, 7, 11, 13] {
+            let l = dcode(n).unwrap();
+            let plan = conventional_rebuild(&l, 2);
+            assert_eq!(plan.reads_with_multiplicity, n * (n - 2));
+        }
+    }
+
+    #[test]
+    fn savings_reports_name_and_prime() {
+        let s = measure_savings(&dcode(7).unwrap());
+        assert_eq!(s.code, "D-Code");
+        assert_eq!(s.prime, 7);
+        assert!(s.reduction_pct() > 0.0);
+    }
+
+    #[test]
+    fn rebuild_covers_every_lost_cell() {
+        let l = dcode(7).unwrap();
+        for col in 0..7 {
+            let plan = optimal_rebuild(&l, col);
+            assert_eq!(plan.choices.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Degraded reads end to end: fail a disk, read through the failure, and
+//! watch which surviving elements each code has to touch — the mechanism
+//! behind the paper's Figure 1 and Figure 7.
+//!
+//! ```sh
+//! cargo run --example degraded_read
+//! ```
+
+use dcode::baselines::registry::{build, CodeId, EVALUATED_CODES};
+use dcode::codec::{apply_plan, encode, Stripe};
+use dcode::core::decoder::plan_recovery;
+use dcode::iosim::access::plan_degraded_segment;
+use std::collections::BTreeSet;
+
+fn main() {
+    let p = 7;
+    let (start, len, failed) = (7usize, 6usize, 1usize);
+    println!(
+        "Reading {len} continuous data elements starting at logical {start} \
+         with disk {failed} failed, p = {p}:\n"
+    );
+    println!(
+        "{:<8} {:>9} {:>12} {:>12}",
+        "code", "lost", "extra reads", "total reads"
+    );
+    for &id in &EVALUATED_CODES {
+        let layout = build(id, p).unwrap();
+        let plan = plan_degraded_segment(&layout, start, len, failed);
+        println!(
+            "{:<8} {:>9} {:>12} {:>12}",
+            id.name(),
+            plan.lost.len(),
+            plan.extra_reads.len(),
+            plan.total_reads()
+        );
+    }
+
+    // Now actually serve the read through the byte engine for D-Code: the
+    // returned bytes must match what a healthy array would produce.
+    let layout = build(CodeId::DCode, p).unwrap();
+    let block = 4096;
+    let payload: Vec<u8> = (0..layout.data_len() * block)
+        .map(|i| (i * 7 % 256) as u8)
+        .collect();
+    let mut healthy = Stripe::from_data(&layout, block, &payload);
+    encode(&layout, &mut healthy);
+
+    let mut broken = healthy.clone();
+    broken.erase_columns(&[failed]);
+
+    // Reconstruct only what the degraded read needs: the lost requested
+    // elements, via the planner's chosen equations.
+    let seg = plan_degraded_segment(&layout, start, len, failed);
+    let lost: BTreeSet<_> = seg.lost.iter().copied().collect();
+    let plan = plan_recovery(&layout, &lost).unwrap();
+    apply_plan(&mut broken, &plan);
+
+    for i in start..start + len {
+        let cell = layout.logical_to_cell(i);
+        assert_eq!(
+            broken.block(cell),
+            healthy.block(cell),
+            "degraded read returned wrong bytes at logical {i}"
+        );
+    }
+    println!(
+        "\nD-Code degraded read served correctly: {} lost elements rebuilt from \
+         {} extra surviving reads.",
+        seg.lost.len(),
+        seg.extra_reads.len()
+    );
+}

@@ -1,0 +1,42 @@
+//! Layout gallery: render every code in the workspace at a chosen prime,
+//! Figure-2 style, with its complexity metrics.
+//!
+//! ```sh
+//! cargo run --example layout_gallery            # p = 7
+//! cargo run --example layout_gallery -- 11      # any evaluated prime
+//! ```
+
+use dcode::baselines::registry::all_codes;
+use dcode::core::metrics::measure;
+use dcode::core::render::{render_kind, render_kinds_map};
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    for layout in all_codes(p) {
+        println!("{}", "=".repeat(60));
+        print!("{}", render_kinds_map(&layout));
+        // Show each parity family's membership picture.
+        let kinds: Vec<_> = layout.equation_census();
+        for (i, (kind, count)) in kinds.iter().enumerate() {
+            println!("\n{count} {kind} equations:");
+            print!("{}", render_kind(&layout, *kind, i == 1));
+        }
+        let m = measure(&layout);
+        println!(
+            "\nmetrics: {} disks | rate {:.3} (MDS-optimal: {}) | encode {:.3} XOR/element | \
+             decode {:.3} XOR/lost | update avg {:.2} / max {}",
+            m.disks,
+            m.storage_rate,
+            m.storage_optimal,
+            m.encode_xors_per_data_element,
+            m.decode_xors_per_lost_element,
+            m.avg_update_complexity,
+            m.max_update_complexity
+        );
+        println!();
+    }
+}

@@ -1,0 +1,79 @@
+//! Cross-crate integration: every code in the registry is a genuine RAID-6
+//! MDS code at every paper prime, with the complexity profile its paper
+//! claims.
+
+use dcode::baselines::registry::{build, CodeId, ALL_CODES};
+use dcode::core::mds::{storage_is_optimal, verify_mds};
+use dcode::core::metrics::measure;
+use dcode::core::PAPER_PRIMES;
+
+#[test]
+fn all_codes_all_paper_primes_are_mds() {
+    for p in PAPER_PRIMES {
+        for &id in &ALL_CODES {
+            let layout = build(id, p).unwrap();
+            verify_mds(&layout).unwrap_or_else(|v| panic!("{} p={p}: {v}", id.name()));
+        }
+    }
+}
+
+#[test]
+fn dcode_is_mds_at_larger_primes() {
+    for p in [17usize, 19, 23, 29] {
+        let layout = build(CodeId::DCode, p).unwrap();
+        verify_mds(&layout).unwrap();
+    }
+}
+
+#[test]
+fn storage_rates_are_mds_optimal() {
+    for p in PAPER_PRIMES {
+        for &id in &ALL_CODES {
+            let layout = build(id, p).unwrap();
+            assert!(storage_is_optimal(&layout), "{} p={p}", id.name());
+        }
+    }
+}
+
+#[test]
+fn vertical_codes_hit_optimal_update_complexity_and_rdp_does_not() {
+    for p in PAPER_PRIMES {
+        let d = measure(&build(CodeId::DCode, p).unwrap());
+        assert!((d.avg_update_complexity - 2.0).abs() < 1e-9, "D-Code p={p}");
+        assert_eq!(d.max_update_complexity, 2);
+
+        let x = measure(&build(CodeId::XCode, p).unwrap());
+        assert!((x.avg_update_complexity - 2.0).abs() < 1e-9, "X-Code p={p}");
+
+        let h = measure(&build(CodeId::HCode, p).unwrap());
+        assert!((h.avg_update_complexity - 2.0).abs() < 1e-9, "H-Code p={p}");
+
+        // RDP's diagonal-over-row-parity cascade and HDP's coupling exceed 2.
+        let r = measure(&build(CodeId::Rdp, p).unwrap());
+        assert!(r.avg_update_complexity > 2.0, "RDP p={p}");
+        let hdp = measure(&build(CodeId::Hdp, p).unwrap());
+        assert!(hdp.avg_update_complexity > 2.0, "HDP p={p}");
+    }
+}
+
+#[test]
+fn dcode_complexities_match_section_3d_closed_forms() {
+    for p in PAPER_PRIMES {
+        let m = measure(&build(CodeId::DCode, p).unwrap());
+        let n = p as f64;
+        assert!((m.encode_xors_per_data_element - (2.0 - 2.0 / (n - 2.0))).abs() < 1e-9);
+        assert!((m.decode_xors_per_lost_element - (n - 3.0)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn disk_counts_match_section_4a() {
+    for p in PAPER_PRIMES {
+        assert_eq!(build(CodeId::Rdp, p).unwrap().disks(), p + 1);
+        assert_eq!(build(CodeId::HCode, p).unwrap().disks(), p + 1);
+        assert_eq!(build(CodeId::Hdp, p).unwrap().disks(), p - 1);
+        assert_eq!(build(CodeId::XCode, p).unwrap().disks(), p);
+        assert_eq!(build(CodeId::DCode, p).unwrap().disks(), p);
+        assert_eq!(build(CodeId::EvenOdd, p).unwrap().disks(), p + 2);
+    }
+}
