@@ -157,7 +157,7 @@ impl Array {
     /// log-structure it); rebuild first.
     pub fn write(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError> {
         assert!(
-            bytes.len().is_multiple_of(self.block_size),
+            bytes.len() % self.block_size == 0,
             "write length must be a multiple of the block size"
         );
         if !self.failed.is_empty() {

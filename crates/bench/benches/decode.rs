@@ -1,9 +1,11 @@
 //! Criterion: double-disk-failure decode throughput for every code
-//! (plan construction + byte reconstruction).
+//! (plan construction + byte reconstruction, naive replay vs compiled
+//! schedule replay).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcode_baselines::registry::{build, EVALUATED_CODES};
-use dcode_codec::{apply_plan, encode, Stripe};
+use dcode_codec::schedule::XorProgram;
+use dcode_codec::{apply_plan_naive, encode, Stripe};
 use dcode_core::decoder::plan_column_recovery;
 
 const BLOCK: usize = 64 * 1024;
@@ -23,7 +25,7 @@ fn bench_decode(c: &mut Criterion) {
         group.throughput(Throughput::Bytes((plan.erased.len() * BLOCK) as u64));
 
         group.bench_with_input(
-            BenchmarkId::new("rebuild_bytes", code.name()),
+            BenchmarkId::new("rebuild_naive", code.name()),
             &stripe,
             |b, s| {
                 b.iter_batched(
@@ -32,13 +34,32 @@ fn bench_decode(c: &mut Criterion) {
                         broken.erase_columns(&cols);
                         broken
                     },
-                    |mut broken| apply_plan(&mut broken, &plan),
+                    |mut broken| apply_plan_naive(&mut broken, &plan),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        let program = XorProgram::compile_plan(layout.grid(), &plan);
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_compiled", code.name()),
+            &stripe,
+            |b, s| {
+                b.iter_batched(
+                    || {
+                        let mut broken = s.clone();
+                        broken.erase_columns(&cols);
+                        broken
+                    },
+                    |mut broken| program.run(&mut broken),
                     criterion::BatchSize::LargeInput,
                 )
             },
         );
         group.bench_function(BenchmarkId::new("plan_only", code.name()), |b| {
             b.iter(|| plan_column_recovery(&layout, &cols).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("compile_only", code.name()), |b| {
+            b.iter(|| XorProgram::compile_plan(layout.grid(), &plan))
         });
     }
     group.finish();

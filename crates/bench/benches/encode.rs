@@ -1,9 +1,13 @@
-//! Criterion: full-stripe encode throughput for every code, all three
-//! backends (sequential equations, crossbeam-parallel, GF(2) bit-matrix).
+//! Criterion: full-stripe encode throughput for every code, all backends —
+//! the naive equation interpreter, the compiled [`XorProgram`] schedule
+//! (sequential and parallel), and the GF(2) bit-matrix — plus a
+//! `BENCH_encode.json` trajectory point comparing naive vs compiled.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use dcode_baselines::registry::{build, CodeId, EVALUATED_CODES};
-use dcode_codec::{encode, encode_parallel, encode_with_matrix, generator_matrix, Stripe};
+use dcode_codec::schedule::XorProgram;
+use dcode_codec::{encode_naive, encode_with_matrix, generator_matrix, Stripe};
+use std::io::Write;
 
 const BLOCK: usize = 64 * 1024;
 const P: usize = 13;
@@ -26,25 +30,33 @@ fn bench_encode(c: &mut Criterion) {
         let layout = build(code, P).unwrap();
         let data = payload(layout.data_len() * BLOCK);
         let stripe = Stripe::from_data(&layout, BLOCK, &data);
+        let program = XorProgram::compile_encode(&layout);
         group.throughput(Throughput::Bytes((layout.data_len() * BLOCK) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", code.name()), &stripe, |b, s| {
+            b.iter_batched(
+                || s.clone(),
+                |mut s| encode_naive(&layout, &mut s),
+                criterion::BatchSize::LargeInput,
+            )
+        });
         group.bench_with_input(
-            BenchmarkId::new("sequential", code.name()),
+            BenchmarkId::new("compiled", code.name()),
             &stripe,
             |b, s| {
                 b.iter_batched(
                     || s.clone(),
-                    |mut s| encode(&layout, &mut s),
+                    |mut s| program.run(&mut s),
                     criterion::BatchSize::LargeInput,
                 )
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("parallel4", code.name()),
+            BenchmarkId::new("compiled_parallel4", code.name()),
             &stripe,
             |b, s| {
                 b.iter_batched(
                     || s.clone(),
-                    |mut s| encode_parallel(&layout, &mut s, 4),
+                    |mut s| program.run_parallel(&mut s, 4),
                     criterion::BatchSize::LargeInput,
                 )
             },
@@ -67,4 +79,64 @@ fn bench_encode(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_encode);
-criterion_main!(benches);
+
+/// Serialize the encode measurements as one JSON trajectory point at the
+/// repository root (`BENCH_encode.json`), including the compiled-vs-naive
+/// speedup per code.
+fn emit_trajectory_point(c: &Criterion) {
+    let results = c.results();
+    let gib = |median_ns: f64, bytes: u64| -> f64 {
+        if median_ns <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0)
+    };
+    let mut entries = String::new();
+    for r in results {
+        let bytes = match r.throughput {
+            Some(criterion::Throughput::Bytes(b)) => b,
+            _ => 0,
+        };
+        entries.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"gib_per_s\": {:.4}}},\n",
+            r.id,
+            r.median_ns,
+            gib(r.median_ns, bytes)
+        ));
+    }
+    let mut speedups = String::new();
+    for &code in &EVALUATED_CODES {
+        let find = |backend: &str| {
+            results
+                .iter()
+                .find(|r| r.id == format!("encode/{}/{}", backend, code.name()))
+                .map(|r| r.median_ns)
+        };
+        if let (Some(naive), Some(compiled)) = (find("naive"), find("compiled")) {
+            if compiled > 0.0 {
+                speedups.push_str(&format!(
+                    "    {{\"code\": \"{}\", \"speedup\": {:.3}}},\n",
+                    code.name(),
+                    naive / compiled
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"encode\",\n  \"p\": {P},\n  \"block_bytes\": {BLOCK},\n  \
+         \"results\": [\n{}  ],\n  \"compiled_vs_naive\": [\n{}  ]\n}}\n",
+        entries.trim_end_matches(",\n").to_string() + "\n",
+        speedups.trim_end_matches(",\n").to_string() + "\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    emit_trajectory_point(&c);
+}

@@ -1,7 +1,7 @@
 //! Criterion: the raw XOR kernels underlying every encode/decode path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dcode_codec::xor::{xor_into, xor_many_into};
+use dcode_codec::xor::{xor_into, xor_many_into, xor_many_into_unrolled};
 
 fn bench_xor(c: &mut Criterion) {
     let mut group = c.benchmark_group("xor_kernel");
@@ -20,6 +20,11 @@ fn bench_xor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("xor_many_11", size), &size, |b, _| {
             b.iter(|| xor_many_into(&mut dst, &refs))
         });
+        group.bench_with_input(
+            BenchmarkId::new("xor_many_11_unrolled", size),
+            &size,
+            |b, _| b.iter(|| xor_many_into_unrolled(&mut dst, &refs)),
+        );
     }
     group.finish();
 }

@@ -5,7 +5,7 @@
 //! worker owns a disjoint chunk of the stripe vector (data-race freedom by
 //! construction, per the Rayon-style idiom the HPC guides recommend).
 
-use crate::encode::encode;
+use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
 use dcode_core::layout::CodeLayout;
 
@@ -35,21 +35,25 @@ pub fn encode_payload(
     stripes
 }
 
-/// Encode a slice of stripes in place, in parallel.
+/// Encode a slice of stripes in place, in parallel. The layout is lowered
+/// to a compiled [`XorProgram`] once, then every stripe replays the same
+/// flat schedule.
 pub fn encode_stripes(layout: &CodeLayout, stripes: &mut [Stripe], threads: usize) {
     let threads = threads.max(1);
+    let program = XorProgram::compile_encode(layout);
     if threads == 1 || stripes.len() <= 1 {
         for s in stripes.iter_mut() {
-            encode(layout, s);
+            program.run(s);
         }
         return;
     }
     let chunk = stripes.len().div_ceil(threads);
+    let program_ref = &program;
     crossbeam::thread::scope(|scope| {
         for part in stripes.chunks_mut(chunk) {
             scope.spawn(move |_| {
                 for s in part {
-                    encode(layout, s);
+                    program_ref.run(s);
                 }
             });
         }

@@ -5,13 +5,22 @@
 //! Step order guarantees every source is either a surviving block or an
 //! already-recovered target.
 
+use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
 use crate::xor::xor_into;
 use dcode_core::decoder::{plan_column_recovery, RecoveryPlan, Unrecoverable};
 use dcode_core::layout::CodeLayout;
 
-/// Execute a recovery plan: rebuild every erased block in place.
+/// Execute a recovery plan: rebuild every erased block in place, by
+/// compiling the plan to a flat [`XorProgram`] and replaying it.
 pub fn apply_plan(stripe: &mut Stripe, plan: &RecoveryPlan) {
+    XorProgram::compile_plan(stripe.grid(), plan).run(stripe);
+}
+
+/// The original step-by-step interpreter for recovery plans. Kept as the
+/// differential-test oracle for [`apply_plan`] — outputs are
+/// byte-identical.
+pub fn apply_plan_naive(stripe: &mut Stripe, plan: &RecoveryPlan) {
     for step in &plan.steps {
         let mut acc = vec![0u8; stripe.block_size()];
         for &src in &step.sources {

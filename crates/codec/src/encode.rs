@@ -1,21 +1,29 @@
 //! Full-stripe encoding.
 //!
-//! [`encode`] evaluates every parity equation over the stripe's blocks in
-//! dependency order (RDP's diagonal parities read its row parities, so
-//! order matters). [`encode_parallel`] does the same work with crossbeam
-//! scoped threads: equations are grouped into dependency *levels*, and
-//! within a level every parity block is computed concurrently into a fresh
-//! buffer from read-only stripe state, then written back — data-race
-//! freedom by construction, in the spirit of the parallel-iterator idioms
-//! the HPC guides recommend.
+//! [`encode`] lowers the layout's parity equations into a compiled
+//! [`XorProgram`](crate::schedule::XorProgram) and replays it — flat index
+//! arrays, no per-equation allocation. [`encode_naive`] keeps the original
+//! interpreter (walk `encode_order`, accumulate each equation into a fresh
+//! buffer) as the differential-test oracle: the two are byte-identical.
+//! [`encode_parallel`] replays the same program with crossbeam scoped
+//! threads, fanning each dependency level out over detached target blocks
+//! — data-race freedom by construction, in the spirit of the
+//! parallel-iterator idioms the HPC guides recommend.
 
+use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
-use crate::xor::xor_into;
-use dcode_core::grid::CellKind;
+use crate::xor::{xor_gather_into, xor_into};
 use dcode_core::layout::CodeLayout;
 
-/// Compute every parity block sequentially, in dependency order.
+/// Compute every parity block sequentially via a compiled schedule.
 pub fn encode(layout: &CodeLayout, stripe: &mut Stripe) {
+    XorProgram::compile_encode(layout).run(stripe);
+}
+
+/// The original interpreter: evaluate every equation in dependency order,
+/// each into a fresh accumulator. Kept as the differential-test oracle for
+/// [`encode`] — outputs are byte-identical.
+pub fn encode_naive(layout: &CodeLayout, stripe: &mut Stripe) {
     for &eq_idx in layout.encode_order() {
         let eq = layout.equation(eq_idx);
         let mut acc = vec![0u8; stripe.block_size()];
@@ -28,77 +36,27 @@ pub fn encode(layout: &CodeLayout, stripe: &mut Stripe) {
 
 /// Group equation indices into dependency levels: an equation whose members
 /// include a parity of level `k` lands in level `k+1` or later.
+///
+/// Thin wrapper over [`CodeLayout::dependency_levels`], where the logic now
+/// lives (the schedule compiler in `dcode-core`-adjacent layers needs it
+/// too); kept here for API continuity.
 pub fn dependency_levels(layout: &CodeLayout) -> Vec<Vec<usize>> {
-    let n_eq = layout.equations().len();
-    let mut level = vec![0usize; n_eq];
-    // encode_order is topologically sorted, so one pass suffices.
-    for &eq_idx in layout.encode_order() {
-        let eq = layout.equation(eq_idx);
-        let mut lv = 0;
-        for &m in &eq.members {
-            if let CellKind::Parity(dep) = layout.kind(m) {
-                lv = lv.max(level[dep] + 1);
-            }
-        }
-        level[eq_idx] = lv;
-    }
-    let max_level = level.iter().copied().max().unwrap_or(0);
-    let mut groups = vec![Vec::new(); max_level + 1];
-    for (eq_idx, &lv) in level.iter().enumerate() {
-        groups[lv].push(eq_idx);
-    }
-    groups
+    layout.dependency_levels()
 }
 
-/// Compute every parity block with up to `threads` worker threads.
+/// Compute every parity block with up to `threads` worker threads by
+/// replaying the compiled schedule level-by-level.
 ///
 /// Produces byte-identical results to [`encode`].
 pub fn encode_parallel(layout: &CodeLayout, stripe: &mut Stripe, threads: usize) {
-    let threads = threads.max(1);
-    for group in dependency_levels(layout) {
-        // Compute all parities of this level from read-only stripe state.
-        let results: Vec<(usize, Vec<u8>)> = if threads == 1 || group.len() == 1 {
-            group
-                .iter()
-                .map(|&eq_idx| (eq_idx, eval_equation(layout, stripe, eq_idx)))
-                .collect()
-        } else {
-            let chunk = group.len().div_ceil(threads);
-            let stripe_ref = &*stripe;
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = group
-                    .chunks(chunk)
-                    .map(|eqs| {
-                        s.spawn(move |_| {
-                            eqs.iter()
-                                .map(|&eq_idx| (eq_idx, eval_equation(layout, stripe_ref, eq_idx)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("encode worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope failed")
-        };
-        // Write the level's parities back.
-        for (eq_idx, buf) in results {
-            stripe
-                .block_mut(layout.equation(eq_idx).parity)
-                .copy_from_slice(&buf);
-        }
-    }
+    XorProgram::compile_encode(layout).run_parallel(stripe, threads);
 }
 
 /// Evaluate one equation into a fresh buffer (read-only stripe access).
 fn eval_equation(layout: &CodeLayout, stripe: &Stripe, eq_idx: usize) -> Vec<u8> {
     let eq = layout.equation(eq_idx);
     let mut acc = vec![0u8; stripe.block_size()];
-    for &m in &eq.members {
-        xor_into(&mut acc, stripe.block(m));
-    }
+    xor_gather_into(&mut acc, &eq.members, |m| stripe.block(m));
     acc
 }
 
@@ -146,20 +104,32 @@ mod tests {
     }
 
     #[test]
+    fn compiled_encode_matches_naive_oracle() {
+        for p in [5usize, 7] {
+            for layout in all_codes(p) {
+                let payload = pseudo_random_payload(layout.data_len() * 24, 17 + p as u64);
+                let mut naive = Stripe::from_data(&layout, 24, &payload);
+                let mut compiled = naive.clone();
+                encode_naive(&layout, &mut naive);
+                encode(&layout, &mut compiled);
+                assert_eq!(compiled, naive, "{} p={p}", layout.name());
+            }
+        }
+    }
+
+    #[test]
     fn parallel_encode_matches_sequential() {
         for p in [5usize, 7, 11] {
             for layout in all_codes(p) {
                 let payload = pseudo_random_payload(layout.data_len() * 64, 42 + p as u64);
-                let mut seq = Stripe::from_data(&layout, 64, &payload);
-                let mut par = seq.clone();
+                let base = Stripe::from_data(&layout, 64, &payload);
+                let mut seq = base.clone();
                 encode(&layout, &mut seq);
                 for threads in [1usize, 2, 4, 8] {
-                    let mut s = par.clone();
+                    let mut s = base.clone();
                     encode_parallel(&layout, &mut s, threads);
                     assert_eq!(s, seq, "{} threads={threads}", layout.name());
                 }
-                par = seq; // silence unused warning path
-                let _ = par;
             }
         }
     }

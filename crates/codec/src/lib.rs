@@ -9,6 +9,9 @@
 //! * [`stripe`] — in-memory stripe storage ([`Stripe`]);
 //! * [`mod@encode`] — sequential and crossbeam-parallel full-stripe encoding,
 //!   plus the `verify_parities` consistency check;
+//! * [`schedule`] — the plan compiler: layouts and recovery plans lower to
+//!   flat [`XorProgram`]s (contiguous index arrays, dependency levels, no
+//!   per-op allocation) that [`mod@encode`] and [`decode`] replay;
 //! * [`decode`] — replay of symbolic [`dcode_core::decoder::RecoveryPlan`]s
 //!   over real blocks;
 //! * [`update`] — read-modify-write partial-stripe writes with cascading
@@ -41,13 +44,15 @@ pub mod decode;
 pub mod encode;
 pub mod gf256;
 pub mod rs;
+pub mod schedule;
 pub mod stripe;
 pub mod update;
 pub mod xor;
 
 pub use bitmatrix::{encode_with_matrix, generator_matrix, BitMatrix};
 pub use bulk::{encode_payload, encode_stripes, payload_of};
-pub use decode::{apply_plan, recover_columns};
-pub use encode::{encode, encode_parallel, verify_parities};
+pub use decode::{apply_plan, apply_plan_naive, recover_columns};
+pub use encode::{encode, encode_naive, encode_parallel, verify_parities};
+pub use schedule::XorProgram;
 pub use stripe::Stripe;
 pub use update::{reconstruct_write_ios, write_logical, write_logical_reconstruct, WriteReceipt};

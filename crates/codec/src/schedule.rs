@@ -1,0 +1,345 @@
+//! Compiled XOR schedules — the plan compiler.
+//!
+//! [`encode`](crate::encode::encode) and
+//! [`apply_plan`](crate::decode::apply_plan) are *interpreters*: every
+//! equation walk re-resolves `Cell`s through the layout's maps and
+//! allocates a fresh accumulator. This module lowers a layout's encode
+//! order — or any symbolic [`RecoveryPlan`] — once, into a flat
+//! [`XorProgram`]: contiguous `u32` arrays of block indices grouped into
+//! dependency levels. Replaying the program touches no `BTreeMap`, builds
+//! no per-equation `Vec`, and allocates nothing per operation: the target
+//! block itself is detached from the stripe (`std::mem::take` on a
+//! `Box<[u8]>` is allocation-free) and used as the accumulator, while
+//! sources are gathered straight out of the stripe through the tiled
+//! multi-source kernel in [`crate::xor`].
+//!
+//! Programs are pure data (`Send + Sync + Clone`), so one compiled
+//! schedule can drive any number of stripes or threads.
+
+use crate::stripe::Stripe;
+use crate::xor::xor_gather_into;
+use dcode_core::decoder::RecoveryPlan;
+use dcode_core::grid::Grid;
+use dcode_core::layout::CodeLayout;
+
+/// A compiled XOR program: `ops[k]` writes block `targets[k]` with the XOR
+/// of blocks `sources[src_off[k]..src_off[k+1]]` (all linear grid
+/// indices). Ops are grouped into dependency levels — `level_off`
+/// delimits op ranges, and every op within a level reads only blocks no
+/// op of the same level writes — so a level's ops may run concurrently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XorProgram {
+    grid: Grid,
+    targets: Vec<u32>,
+    /// `ops + 1` entries; op `k`'s sources live at `src_off[k]..src_off[k+1]`.
+    src_off: Vec<u32>,
+    sources: Vec<u32>,
+    /// `levels + 1` entries; level `l` covers ops `level_off[l]..level_off[l+1]`.
+    level_off: Vec<u32>,
+}
+
+impl XorProgram {
+    /// Lower `layout`'s full-stripe encode into a program: one op per
+    /// parity equation, grouped by [`CodeLayout::dependency_levels`].
+    pub fn compile_encode(layout: &CodeLayout) -> Self {
+        let grid = layout.grid();
+        let mut b = ProgramBuilder::new(grid);
+        for level in layout.dependency_levels() {
+            for eq_idx in level {
+                let eq = layout.equation(eq_idx);
+                b.op(
+                    grid.index(eq.parity),
+                    eq.members.iter().map(|&m| grid.index(m)),
+                );
+            }
+            b.end_level();
+        }
+        b.finish()
+    }
+
+    /// Lower a symbolic recovery plan into a program: one op per
+    /// [`RecoveryStep`](dcode_core::decoder::RecoveryStep). Steps are
+    /// re-grouped into dependency levels (a step whose sources include an
+    /// earlier step's target lands one level past its deepest producer),
+    /// so independent repairs replay concurrently under
+    /// [`XorProgram::run_parallel`] while sequential replay stays
+    /// byte-identical to [`crate::decode::apply_plan`].
+    pub fn compile_plan(grid: Grid, plan: &RecoveryPlan) -> Self {
+        // Depth of the producing step for each recovered cell; surviving
+        // sources have no producer and anchor at level 0.
+        let mut produced_at: Vec<Option<u32>> = vec![None; grid.len()];
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        for (i, step) in plan.steps.iter().enumerate() {
+            let lv = step
+                .sources
+                .iter()
+                .filter_map(|&s| produced_at[grid.index(s)])
+                .max()
+                .map_or(0, |deepest| deepest as usize + 1);
+            if levels.len() <= lv {
+                levels.resize_with(lv + 1, Vec::new);
+            }
+            levels[lv].push(i);
+            produced_at[grid.index(step.target)] = Some(lv as u32);
+        }
+        let mut b = ProgramBuilder::new(grid);
+        for level in levels {
+            for si in level {
+                let step = &plan.steps[si];
+                b.op(
+                    grid.index(step.target),
+                    step.sources.iter().map(|&s| grid.index(s)),
+                );
+            }
+            b.end_level();
+        }
+        b.finish()
+    }
+
+    /// Grid shape this program was compiled for.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Number of XOR operations (target blocks written).
+    pub fn op_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of dependency levels.
+    pub fn level_count(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// Total source-block reads across all ops.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Replay the program over `stripe` sequentially.
+    pub fn run(&self, stripe: &mut Stripe) {
+        self.check(stripe);
+        for op in 0..self.targets.len() {
+            self.exec_op(op, stripe);
+        }
+    }
+
+    /// Replay the program with up to `threads` worker threads: within each
+    /// dependency level, target blocks are detached from the stripe and
+    /// ops fan out over crossbeam scoped threads reading the remaining
+    /// blocks immutably. Byte-identical to [`XorProgram::run`].
+    pub fn run_parallel(&self, stripe: &mut Stripe, threads: usize) {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.run(stripe);
+        }
+        self.check(stripe);
+        for lv in 0..self.level_count() {
+            let (lo, hi) = (self.level_off[lv] as usize, self.level_off[lv + 1] as usize);
+            if hi - lo <= 1 {
+                for op in lo..hi {
+                    self.exec_op(op, stripe);
+                }
+                continue;
+            }
+            // Detach every target of this level, then compute into the
+            // detached boxes concurrently against the read-only stripe.
+            let mut taken: Vec<(usize, Box<[u8]>)> = (lo..hi)
+                .map(|op| (op, stripe.take_block_at(self.targets[op] as usize)))
+                .collect();
+            let chunk = taken.len().div_ceil(threads);
+            let stripe_ref = &*stripe;
+            crossbeam::thread::scope(|s| {
+                for part in taken.chunks_mut(chunk) {
+                    s.spawn(move |_| {
+                        for (op, out) in part.iter_mut() {
+                            self.gather(*op, out, stripe_ref);
+                        }
+                    });
+                }
+            })
+            .expect("schedule worker panicked");
+            for (op, out) in taken {
+                stripe.put_block_at(self.targets[op] as usize, out);
+            }
+        }
+    }
+
+    fn exec_op(&self, op: usize, stripe: &mut Stripe) {
+        let target = self.targets[op] as usize;
+        let mut out = stripe.take_block_at(target);
+        self.gather(op, &mut out, stripe);
+        stripe.put_block_at(target, out);
+    }
+
+    fn gather(&self, op: usize, out: &mut [u8], stripe: &Stripe) {
+        let (lo, hi) = (self.src_off[op] as usize, self.src_off[op + 1] as usize);
+        xor_gather_into(out, &self.sources[lo..hi], |i| stripe.block_at(i as usize));
+    }
+
+    fn check(&self, stripe: &Stripe) {
+        assert_eq!(
+            stripe.grid(),
+            self.grid,
+            "stripe shape does not match the compiled program"
+        );
+    }
+}
+
+/// Accumulates ops and level boundaries into the flat arrays.
+struct ProgramBuilder {
+    grid: Grid,
+    targets: Vec<u32>,
+    src_off: Vec<u32>,
+    sources: Vec<u32>,
+    level_off: Vec<u32>,
+}
+
+impl ProgramBuilder {
+    fn new(grid: Grid) -> Self {
+        ProgramBuilder {
+            grid,
+            targets: Vec::new(),
+            src_off: vec![0],
+            sources: Vec::new(),
+            level_off: vec![0],
+        }
+    }
+
+    fn op(&mut self, target: usize, sources: impl Iterator<Item = usize>) {
+        self.targets.push(target as u32);
+        for s in sources {
+            debug_assert_ne!(s, target, "op target among its own sources");
+            self.sources.push(s as u32);
+        }
+        self.src_off.push(self.sources.len() as u32);
+    }
+
+    fn end_level(&mut self) {
+        // Empty levels carry no information; skip them so level_count
+        // reflects real dependency depth.
+        if *self.level_off.last().expect("seeded with 0") != self.targets.len() as u32 {
+            self.level_off.push(self.targets.len() as u32);
+        }
+    }
+
+    fn finish(mut self) -> XorProgram {
+        self.end_level();
+        if self.level_off.len() == 1 {
+            // Zero-op program still needs a valid (empty) level table.
+            self.level_off.push(0);
+        }
+        XorProgram {
+            grid: self.grid,
+            targets: self.targets,
+            src_off: self.src_off,
+            sources: self.sources,
+            level_off: self.level_off,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::apply_plan_naive;
+    use crate::encode::{encode_naive, verify_parities};
+    use dcode_baselines::registry::all_codes;
+    use dcode_core::decoder::plan_column_recovery;
+
+    fn payload(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 55) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_encode_matches_naive_for_every_code() {
+        for p in [5usize, 7] {
+            for layout in all_codes(p) {
+                let data = payload(layout.data_len() * 24, p as u64);
+                let mut naive = Stripe::from_data(&layout, 24, &data);
+                let mut compiled = naive.clone();
+                encode_naive(&layout, &mut naive);
+                let program = XorProgram::compile_encode(&layout);
+                program.run(&mut compiled);
+                assert_eq!(compiled, naive, "{} p={p}", layout.name());
+                assert!(verify_parities(&layout, &compiled));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_replay_matches_sequential() {
+        for layout in all_codes(7) {
+            let data = payload(layout.data_len() * 32, 99);
+            let mut seq = Stripe::from_data(&layout, 32, &data);
+            let program = XorProgram::compile_encode(&layout);
+            program.run(&mut seq);
+            for threads in [2usize, 3, 8] {
+                let mut par = Stripe::from_data(&layout, 32, &data);
+                program.run_parallel(&mut par, threads);
+                assert_eq!(par, seq, "{} threads={threads}", layout.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_naive_replay() {
+        for layout in all_codes(5) {
+            let data = payload(layout.data_len() * 16, 3);
+            let mut golden = Stripe::from_data(&layout, 16, &data);
+            encode_naive(&layout, &mut golden);
+            for c1 in 0..layout.disks() {
+                for c2 in c1 + 1..layout.disks() {
+                    let plan = plan_column_recovery(&layout, &[c1, c2]).unwrap();
+                    let program = XorProgram::compile_plan(layout.grid(), &plan);
+                    assert_eq!(program.op_count(), plan.steps.len());
+
+                    let mut naive = golden.clone();
+                    naive.erase_columns(&[c1, c2]);
+                    apply_plan_naive(&mut naive, &plan);
+
+                    let mut compiled = golden.clone();
+                    compiled.erase_columns(&[c1, c2]);
+                    program.run(&mut compiled);
+                    assert_eq!(compiled, naive, "{} cols=({c1},{c2})", layout.name());
+                    assert_eq!(compiled, golden, "{} cols=({c1},{c2})", layout.name());
+
+                    let mut par = golden.clone();
+                    par.erase_columns(&[c1, c2]);
+                    program.run_parallel(&mut par, 4);
+                    assert_eq!(par, golden, "{} cols=({c1},{c2}) parallel", layout.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_shape_reflects_dependency_depth() {
+        // D-Code's two parity families are independent: one level.
+        let d = dcode_core::dcode::dcode(7).unwrap();
+        let prog = XorProgram::compile_encode(&d);
+        assert_eq!(prog.level_count(), 1);
+        assert_eq!(prog.op_count(), d.equations().len());
+        // RDP's diagonal parity reads row parity: at least two levels.
+        let rdp = dcode_baselines::rdp::rdp(7).unwrap();
+        assert!(XorProgram::compile_encode(&rdp).level_count() >= 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_stripe_shape_is_rejected() {
+        let l5 = dcode_core::dcode::dcode(5).unwrap();
+        let l7 = dcode_core::dcode::dcode(7).unwrap();
+        let program = XorProgram::compile_encode(&l5);
+        let mut stripe = Stripe::zeroed(&l7, 8);
+        program.run(&mut stripe);
+    }
+}

@@ -102,6 +102,29 @@ impl Stripe {
     pub fn snapshot(&self, cell: Cell) -> Vec<u8> {
         self.block(cell).to_vec()
     }
+
+    /// Immutable view of one block by linear grid index
+    /// (`grid.index(cell)`, row-major). The schedule executor addresses
+    /// blocks this way so compiled programs never touch `Cell` math.
+    pub(crate) fn block_at(&self, index: usize) -> &[u8] {
+        &self.blocks[index]
+    }
+
+    /// Detach one block, leaving an empty placeholder behind. Together with
+    /// [`Stripe::put_block_at`] this lets an executor hold a mutable target
+    /// block while reading source blocks through `&self` — no copies, no
+    /// unsafe. The placeholder is a zero-length `Box`, so taking allocates
+    /// nothing; reading a taken block trips the kernels' length asserts.
+    pub(crate) fn take_block_at(&mut self, index: usize) -> Box<[u8]> {
+        std::mem::take(&mut self.blocks[index])
+    }
+
+    /// Return a block detached by [`Stripe::take_block_at`].
+    pub(crate) fn put_block_at(&mut self, index: usize, block: Box<[u8]>) {
+        debug_assert_eq!(block.len(), self.block_size);
+        debug_assert!(self.blocks[index].is_empty(), "slot already occupied");
+        self.blocks[index] = block;
+    }
 }
 
 #[cfg(test)]

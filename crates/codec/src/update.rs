@@ -11,7 +11,7 @@
 //! simulator's accounting can be validated against the real engine.
 
 use crate::stripe::Stripe;
-use crate::xor::xor_into;
+use crate::xor::{xor_gather_into, xor_into};
 use dcode_core::grid::Cell;
 use dcode_core::layout::CodeLayout;
 use std::collections::BTreeMap;
@@ -49,7 +49,7 @@ pub fn write_logical(
 ) -> WriteReceipt {
     let bs = stripe.block_size();
     assert!(
-        bytes.len().is_multiple_of(bs),
+        bytes.len() % bs == 0,
         "write length {} is not a multiple of the block size {bs}",
         bytes.len()
     );
@@ -122,7 +122,7 @@ pub fn write_logical_reconstruct(
 ) -> WriteReceipt {
     let bs = stripe.block_size();
     assert!(
-        bytes.len().is_multiple_of(bs),
+        bytes.len() % bs == 0,
         "write length {} is not a multiple of the block size {bs}",
         bytes.len()
     );
@@ -142,19 +142,21 @@ pub fn write_logical_reconstruct(
     }
 
     // Recompute affected parities from full member sets, in encode order so
-    // cascaded parities see fresh inputs.
+    // cascaded parities see fresh inputs. The parity block is detached and
+    // used as the accumulator directly (an equation never contains its own
+    // parity), so no scratch buffer is allocated.
     let affected = layout.update_closure(&data_written);
+    let grid = stripe.grid();
     let mut parities_written = Vec::new();
     for &eq_idx in layout.encode_order() {
         let eq = layout.equation(eq_idx);
         if !affected.contains(&eq.parity) {
             continue;
         }
-        let mut acc = vec![0u8; bs];
-        for &m in &eq.members {
-            xor_into(&mut acc, stripe.block(m));
-        }
-        stripe.block_mut(eq.parity).copy_from_slice(&acc);
+        let parity_idx = grid.index(eq.parity);
+        let mut acc = stripe.take_block_at(parity_idx);
+        xor_gather_into(&mut acc, &eq.members, |m| stripe.block(m));
+        stripe.put_block_at(parity_idx, acc);
         parities_written.push(eq.parity);
     }
     WriteReceipt {

@@ -40,6 +40,131 @@ pub fn xor_many_into(dst: &mut [u8], sources: &[&[u8]]) {
     }
 }
 
+/// Tile size for the multi-source kernels: each destination tile stays
+/// resident in L1 while several sources stream through it, so a parity
+/// built from many members loads and stores its accumulator once per
+/// source *group* instead of once per source.
+const TILE_BYTES: usize = 32 * 1024;
+
+#[inline]
+fn load_u64(bytes: &[u8]) -> u64 {
+    u64::from_ne_bytes(bytes.try_into().expect("chunk is 8 bytes"))
+}
+
+/// `dst ^= a ^ b` over equal-length slices.
+#[inline]
+fn xor_into2(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let mut d = dst.chunks_exact_mut(8);
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for ((d, a), b) in d.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+        let w = load_u64(d) ^ load_u64(a) ^ load_u64(b);
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for ((d, a), b) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d ^= a ^ b;
+    }
+}
+
+/// `dst ^= a ^ b ^ c ^ e` over equal-length slices — four source streams
+/// folded per accumulator load/store.
+#[inline]
+fn xor_into4(dst: &mut [u8], a: &[u8], b: &[u8], c: &[u8], e: &[u8]) {
+    debug_assert!(
+        dst.len() == a.len()
+            && dst.len() == b.len()
+            && dst.len() == c.len()
+            && dst.len() == e.len()
+    );
+    let mut d = dst.chunks_exact_mut(8);
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    let mut cc = c.chunks_exact(8);
+    let mut ec = e.chunks_exact(8);
+    for ((((d, a), b), c), e) in d
+        .by_ref()
+        .zip(ac.by_ref())
+        .zip(bc.by_ref())
+        .zip(cc.by_ref())
+        .zip(ec.by_ref())
+    {
+        let w = load_u64(d) ^ load_u64(a) ^ load_u64(b) ^ load_u64(c) ^ load_u64(e);
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for ((((d, a), b), c), e) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+        .zip(cc.remainder())
+        .zip(ec.remainder())
+    {
+        *d ^= a ^ b ^ c ^ e;
+    }
+}
+
+/// Gather-form multi-source XOR: `dst = fetch(i₀) ^ fetch(i₁) ^ …` for the
+/// given indices, resolved through `fetch` so callers never build a
+/// per-operation `Vec<&[u8]>`. This is the schedule executor's kernel:
+/// overwrite semantics (the first source is copied, the rest accumulated),
+/// cache-sized tiles, and up to four sources folded per pass. With no
+/// indices, `dst` is zeroed.
+pub(crate) fn xor_gather_into<'a, I: Copy, F>(dst: &mut [u8], indices: &[I], fetch: F)
+where
+    F: Fn(I) -> &'a [u8],
+{
+    let len = dst.len();
+    for &i in indices {
+        assert_eq!(fetch(i).len(), len, "xor_gather_into: length mismatch");
+    }
+    let Some((&first, rest)) = indices.split_first() else {
+        dst.fill(0);
+        return;
+    };
+    let mut start = 0;
+    while start < len {
+        let end = (start + TILE_BYTES).min(len);
+        let d = &mut dst[start..end];
+        d.copy_from_slice(&fetch(first)[start..end]);
+        let mut quads = rest.chunks_exact(4);
+        for q in quads.by_ref() {
+            xor_into4(
+                d,
+                &fetch(q[0])[start..end],
+                &fetch(q[1])[start..end],
+                &fetch(q[2])[start..end],
+                &fetch(q[3])[start..end],
+            );
+        }
+        match quads.remainder() {
+            [] => {}
+            [a] => xor_into(d, &fetch(*a)[start..end]),
+            [a, b] => xor_into2(d, &fetch(*a)[start..end], &fetch(*b)[start..end]),
+            [a, b, c] => {
+                xor_into2(d, &fetch(*a)[start..end], &fetch(*b)[start..end]);
+                xor_into(d, &fetch(*c)[start..end]);
+            }
+            _ => unreachable!("chunks_exact(4) remainder has < 4 elements"),
+        }
+        start = end;
+    }
+}
+
+/// XOR all `sources` into `dst` with multi-source unrolling: up to four
+/// sources are accumulated per pass in `u64` lanes, and the block is
+/// processed in cache-sized tiles so the destination stays hot while the
+/// sources stream through. Overwrites `dst` (no pre-zeroing pass); with no
+/// sources, `dst` becomes all-zero. Byte-identical to [`xor_many_into`].
+pub fn xor_many_into_unrolled(dst: &mut [u8], sources: &[&[u8]]) {
+    xor_gather_into(dst, sources, |s| s);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +229,61 @@ mod tests {
     fn length_mismatch_panics() {
         let mut d = [0u8; 3];
         xor_into(&mut d, &[0u8; 4]);
+    }
+
+    #[test]
+    fn unrolled_matches_naive_for_all_source_counts() {
+        // Cover every remainder branch (0..=3 after the 4-wide quads) and
+        // odd lengths that exercise the scalar tails.
+        for n_sources in 0..=9usize {
+            for len in [0usize, 1, 7, 8, 33, 257] {
+                let srcs: Vec<Vec<u8>> = (0..n_sources)
+                    .map(|k| {
+                        (0..len as u32)
+                            .map(|i| ((i + 1) * (k as u32 + 3) * 97) as u8)
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+                let mut naive = vec![0xAB; len];
+                xor_many_into(&mut naive, &refs);
+                let mut unrolled = vec![0xCD; len];
+                xor_many_into_unrolled(&mut unrolled, &refs);
+                assert_eq!(naive, unrolled, "n_sources={n_sources} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_crosses_tile_boundaries() {
+        let len = TILE_BYTES * 2 + 17;
+        let srcs: Vec<Vec<u8>> = (0..5)
+            .map(|k| {
+                (0..len as u32)
+                    .map(|i| (i.wrapping_mul(k + 7) >> 3) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        let mut naive = vec![0u8; len];
+        xor_many_into(&mut naive, &refs);
+        let mut unrolled = vec![0u8; len];
+        xor_many_into_unrolled(&mut unrolled, &refs);
+        assert_eq!(naive, unrolled);
+    }
+
+    #[test]
+    fn gather_resolves_indices() {
+        let pool: Vec<Vec<u8>> = (0..4).map(|k| vec![1u8 << k; 11]).collect();
+        let mut d = vec![0u8; 11];
+        xor_gather_into(&mut d, &[0usize, 2, 3], |i| pool[i].as_slice());
+        assert!(d.iter().all(|&b| b == 0b1101));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unrolled_length_mismatch_panics() {
+        let mut d = [0u8; 3];
+        xor_many_into_unrolled(&mut d, &[&[0u8; 3], &[0u8; 4]]);
     }
 }

@@ -162,6 +162,34 @@ impl CodeLayout {
         &self.encode_order
     }
 
+    /// Group equation indices into dependency *levels*: an equation whose
+    /// members include the parity of a level-`k` equation lands in level
+    /// `k+1` or later, so all equations within one level are mutually
+    /// independent and may be evaluated concurrently. Level order is a
+    /// valid encode order; this is the grouping the codec's schedule
+    /// compiler and parallel encoder build their programs from.
+    pub fn dependency_levels(&self) -> Vec<Vec<usize>> {
+        let n_eq = self.equations.len();
+        let mut level = vec![0usize; n_eq];
+        // encode_order is topologically sorted, so one pass suffices.
+        for &eq_idx in &self.encode_order {
+            let eq = &self.equations[eq_idx];
+            let mut lv = 0;
+            for &m in &eq.members {
+                if let CellKind::Parity(dep) = self.kind(m) {
+                    lv = lv.max(level[dep] + 1);
+                }
+            }
+            level[eq_idx] = lv;
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut groups = vec![Vec::new(); max_level + 1];
+        for (eq_idx, &lv) in level.iter().enumerate() {
+            groups[lv].push(eq_idx);
+        }
+        groups
+    }
+
     /// Iterate over all parity cells.
     pub fn parity_cells(&self) -> impl Iterator<Item = Cell> + '_ {
         self.grid.cells().filter(|&c| self.kind(c).is_parity())

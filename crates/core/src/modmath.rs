@@ -22,12 +22,12 @@ pub fn is_prime(n: usize) -> bool {
     if n < 2 {
         return false;
     }
-    if n.is_multiple_of(2) {
+    if n % 2 == 0 {
         return n == 2;
     }
     let mut d = 3;
     while d * d <= n {
-        if n.is_multiple_of(d) {
+        if n % d == 0 {
             return false;
         }
         d += 2;

@@ -185,7 +185,7 @@ pub fn plan_degraded_segment(
                 eqs.push(*eq_idx);
                 union.extend(extra.iter().copied());
             }
-            if best.as_ref().is_none_or(|(_, b)| union.len() < b.len()) {
+            if best.as_ref().map_or(true, |(_, b)| union.len() < b.len()) {
                 best = Some((eqs, union));
             }
             // Advance the mixed-radix counter.

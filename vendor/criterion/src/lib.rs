@@ -1,0 +1,387 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the Criterion.rs benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the benchmarking surface its `benches/` targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, calibrated to pick an
+//! iteration count that fills a fixed per-sample budget, then timed over a
+//! configurable number of samples. The **median** per-iteration time is
+//! reported (robust to scheduler noise), along with derived throughput when
+//! the group declares one. There is no outlier analysis, HTML report, or
+//! saved baseline — `cargo bench` prints one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of the std
+/// hint, which is what upstream criterion uses on recent toolchains).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function` measured at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id with a parameter only (upstream API parity).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. This implementation times every
+/// routine call individually, so the variants only hint at batch sizing.
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Inputs are small; large batches are fine.
+    SmallInput,
+    /// Inputs are large; batch conservatively.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a SamplingConfig,
+    samples_ns: Vec<f64>,
+}
+
+#[derive(Clone, Debug)]
+struct SamplingConfig {
+    sample_count: usize,
+    /// Wall-clock budget for one sample (many iterations).
+    sample_budget: Duration,
+    warm_up: Duration,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            sample_count: 15,
+            sample_budget: Duration::from_millis(12),
+            warm_up: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: how many calls fit in the sample budget?
+        let mut calls_per_sample = 1u64;
+        let warm_start = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut warm_calls = 0u32;
+        while warm_start.elapsed() < self.cfg.warm_up || warm_calls < 3 {
+            let t = Instant::now();
+            black_box(routine());
+            one = t.elapsed();
+            warm_calls += 1;
+            if warm_calls >= 1000 {
+                break;
+            }
+        }
+        if one > Duration::ZERO {
+            let fit = self.cfg.sample_budget.as_nanos() / one.as_nanos().max(1);
+            calls_per_sample = fit.clamp(1, 1_000_000) as u64;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.cfg.sample_count {
+            let t = Instant::now();
+            for _ in 0..calls_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / calls_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up: a few untimed runs.
+        for _ in 0..3 {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // Each sample times a single routine call (inputs are typically
+        // expensive clones here, so per-call timing is the honest choice).
+        self.samples_ns.clear();
+        let deadline = Instant::now() + self.cfg.sample_budget * self.cfg.sample_count as u32;
+        for _ in 0..self.cfg.sample_count.max(10) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut xs = self.samples_ns.clone();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+        xs[xs.len() / 2]
+    }
+}
+
+/// One finished measurement, retained on the [`Criterion`] so callers (and
+/// bench binaries that post-process results) can read medians back.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function/param` label.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Declared throughput units, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: SamplingConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            cfg_override: None,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    cfg_override: Option<SamplingConfig>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the units processed per iteration of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut cfg = self
+            .cfg_override
+            .clone()
+            .unwrap_or_else(|| self.criterion.cfg.clone());
+        cfg.sample_count = n.max(3);
+        self.cfg_override = Some(cfg);
+        self
+    }
+
+    /// Measure `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let cfg = self
+            .cfg_override
+            .clone()
+            .unwrap_or_else(|| self.criterion.cfg.clone());
+        let mut bencher = Bencher {
+            cfg: &cfg,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        self.record(id, &bencher);
+        self
+    }
+
+    /// Measure `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream API parity; reporting happens per-bench).
+    pub fn finish(self) {}
+
+    fn record(&mut self, id: BenchmarkId, bencher: &Bencher) {
+        let median = bencher.median_ns();
+        let full = format!("{}/{}", self.name, id.label());
+        let thrpt = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+                let gib_s = bytes as f64 / median * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                format!("  thrpt: {gib_s:8.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                let elem_s = n as f64 / median * 1e9;
+                format!("  thrpt: {elem_s:12.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!("{full:<56} time: {:>12} /iter{thrpt}", fmt_ns(median));
+        self.criterion.results.push(BenchResult {
+            id: full,
+            median_ns: median,
+            throughput: self.throughput,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as upstream criterion
+/// does. The optional `config = ..; targets = ..` form is accepted and the
+/// config expression ignored (this harness has no per-group config type).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Generate `main` running every listed group. Unrecognized CLI arguments
+/// (`--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_add(black_box(i).wrapping_mul(2654435761));
+        }
+        acc
+    }
+
+    #[test]
+    fn records_results_with_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.throughput(Throughput::Bytes(1024));
+            g.sample_size(5);
+            g.bench_function(BenchmarkId::new("spin", 100), |b| {
+                b.iter(|| spin(100));
+            });
+            g.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u8; 64],
+                    |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                    BatchSize::LargeInput,
+                );
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "unit/spin/100");
+        assert!(c.results()[0].median_ns > 0.0);
+        assert_eq!(c.results()[1].id, "unit/batched");
+    }
+}

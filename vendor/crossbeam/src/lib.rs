@@ -1,0 +1,104 @@
+#![warn(missing_docs)]
+//! Offline drop-in subset of the `crossbeam` 0.8 API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the one crossbeam surface it uses: [`thread::scope`]
+//! with spawn/join semantics. Since Rust 1.63 the standard library provides
+//! scoped threads natively, so this is a thin adapter over
+//! [`std::thread::scope`] that restores crossbeam's closure signature
+//! (`FnOnce(&Scope) -> T`) and `Result`-returning entry point.
+//!
+//! One behavioural difference: crossbeam catches child-thread panics and
+//! reports them through the returned `Result`, whereas `std::thread::scope`
+//! resumes the unwind on the joining thread. Every call site in this
+//! workspace treats a panicked worker as fatal (`.expect(..)`), so the
+//! difference is unobservable here.
+
+/// Scoped threads (the `crossbeam::thread` module).
+pub mod thread {
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handoff = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handoff)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Always `Ok` here (see the crate docs on panics).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|part| s.spawn(move |_| part.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().expect("inner panicked") * 2
+            });
+            h.join().expect("outer panicked")
+        })
+        .expect("scope failed");
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn implicit_join_without_handles() {
+        let mut results = vec![0usize; 4];
+        crate::thread::scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+}
