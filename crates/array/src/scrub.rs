@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn single_data_corruption_is_localized_and_repaired() {
         let (layout, golden) = encoded_stripe();
-        for &cell in golden.grid().cells().collect::<Vec<_>>().iter() {
+        for &cell in &golden.grid().cells().collect::<Vec<_>>() {
             let mut s = golden.clone();
             s.block_mut(cell)[0] ^= 0xFF; // flip bits silently
             match scrub_stripe(&layout, &mut s) {

@@ -36,9 +36,8 @@ fn main() {
                 }
             }
         }
-        let avg = hcode_with_map(7, DiagonalMap { a })
-            .map(|l| update_complexity(&l).0)
-            .unwrap_or(f64::NAN);
+        let avg =
+            hcode_with_map(7, DiagonalMap { a }).map_or(f64::NAN, |l| update_complexity(&l).0);
         println!(
             "  a={a}: {} per-prime={per_prime:?} avg-update(p=7)={avg:.2}",
             if ok { "PASS" } else { "fail" }

@@ -23,14 +23,14 @@ fn bench_array(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((elements * BLOCK) as u64));
 
     group.bench_function(BenchmarkId::new("full_read", "healthy"), |b| {
-        b.iter(|| healthy.read(0, elements).unwrap())
+        b.iter(|| healthy.read(0, elements).unwrap());
     });
 
     let mut degraded = make_array();
     degraded.fail_disk(2).unwrap();
     degraded.fail_disk(5).unwrap();
     group.bench_function(BenchmarkId::new("full_read", "two_failed"), |b| {
-        b.iter(|| degraded.read(0, elements).unwrap())
+        b.iter(|| degraded.read(0, elements).unwrap());
     });
 
     group.bench_function(BenchmarkId::new("rebuild_disk", "one_failed"), |b| {
@@ -42,7 +42,7 @@ fn bench_array(c: &mut Criterion) {
             },
             |mut a| a.rebuild_disk(3).unwrap(),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
 
     let layout = dcode(7).unwrap();
@@ -51,7 +51,7 @@ fn bench_array(c: &mut Criterion) {
             make_array,
             |mut a| scrub_stripe(&layout, a.stripe_mut(0)),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     group.finish();
 }

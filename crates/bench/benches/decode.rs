@@ -36,7 +36,7 @@ fn bench_decode(c: &mut Criterion) {
                     },
                     |mut broken| apply_plan_naive(&mut broken, &plan),
                     criterion::BatchSize::LargeInput,
-                )
+                );
             },
         );
         let program = XorProgram::compile_plan(layout.grid(), &plan);
@@ -52,14 +52,14 @@ fn bench_decode(c: &mut Criterion) {
                     },
                     |mut broken| program.run(&mut broken),
                     criterion::BatchSize::LargeInput,
-                )
+                );
             },
         );
         group.bench_function(BenchmarkId::new("plan_only", code.name()), |b| {
-            b.iter(|| plan_column_recovery(&layout, &cols).unwrap())
+            b.iter(|| plan_column_recovery(&layout, &cols).unwrap());
         });
         group.bench_function(BenchmarkId::new("compile_only", code.name()), |b| {
-            b.iter(|| XorProgram::compile_plan(layout.grid(), &plan))
+            b.iter(|| XorProgram::compile_plan(layout.grid(), &plan));
         });
     }
     group.finish();

@@ -15,10 +15,10 @@ fn bench_planner(c: &mut Criterion) {
     for &code in &EVALUATED_CODES {
         let layout = build(code, P).unwrap();
         group.bench_function(BenchmarkId::new("plan_len16", code.name()), |b| {
-            b.iter(|| plan_degraded_segment(&layout, 5, 16, 2))
+            b.iter(|| plan_degraded_segment(&layout, 5, 16, 2));
         });
         group.bench_function(BenchmarkId::new("accesses_len16", code.name()), |b| {
-            b.iter(|| degraded_read_accesses(&layout, 5, 16, 2))
+            b.iter(|| degraded_read_accesses(&layout, 5, 16, 2));
         });
     }
     group.finish();
@@ -36,7 +36,7 @@ fn bench_workload(c: &mut Criterion) {
             7,
         );
         group.bench_function(BenchmarkId::new("mixed_2000ops", code.name()), |b| {
-            b.iter(|| run_workload(&layout, &ops))
+            b.iter(|| run_workload(&layout, &ops));
         });
     }
     group.finish();

@@ -37,7 +37,7 @@ fn bench_encode(c: &mut Criterion) {
                 || s.clone(),
                 |mut s| encode_naive(&layout, &mut s),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         group.bench_with_input(
             BenchmarkId::new("compiled", code.name()),
@@ -47,7 +47,7 @@ fn bench_encode(c: &mut Criterion) {
                     || s.clone(),
                     |mut s| program.run(&mut s),
                     criterion::BatchSize::LargeInput,
-                )
+                );
             },
         );
         group.bench_with_input(
@@ -58,7 +58,7 @@ fn bench_encode(c: &mut Criterion) {
                     || s.clone(),
                     |mut s| program.run_parallel(&mut s, 4),
                     criterion::BatchSize::LargeInput,
-                )
+                );
             },
         );
         let matrix = generator_matrix(&layout);
@@ -70,7 +70,7 @@ fn bench_encode(c: &mut Criterion) {
                     || s.clone(),
                     |mut s| encode_with_matrix(&layout, &matrix, &mut s),
                     criterion::BatchSize::LargeInput,
-                )
+                );
             },
         );
     }

@@ -10,17 +10,17 @@ fn bench_recovery(c: &mut Criterion) {
     for p in [7usize, 11, 13] {
         let layout = build(CodeId::DCode, p).unwrap();
         group.bench_function(BenchmarkId::new("conventional", p), |b| {
-            b.iter(|| conventional_rebuild(&layout, 0))
+            b.iter(|| conventional_rebuild(&layout, 0));
         });
         group.bench_function(BenchmarkId::new("optimal_exhaustive", p), |b| {
-            b.iter(|| optimal_rebuild(&layout, 0))
+            b.iter(|| optimal_rebuild(&layout, 0));
         });
     }
     // The full savings measurement (every disk) at the paper's largest prime.
     let layout = build(CodeId::DCode, 13).unwrap();
     group.sample_size(10);
     group.bench_function("measure_savings_p13", |b| {
-        b.iter(|| measure_savings(&layout))
+        b.iter(|| measure_savings(&layout));
     });
     group.finish();
 }

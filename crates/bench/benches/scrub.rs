@@ -21,7 +21,7 @@ fn bench_scrub(c: &mut Criterion) {
         group.throughput(Throughput::Bytes((layout.grid().len() * BLOCK) as u64));
 
         group.bench_function(BenchmarkId::new("verify_clean", p), |b| {
-            b.iter(|| failing_equations(&layout, &stripe))
+            b.iter(|| failing_equations(&layout, &stripe));
         });
 
         group.bench_function(BenchmarkId::new("localize_and_repair", p), |b| {
@@ -33,7 +33,7 @@ fn bench_scrub(c: &mut Criterion) {
                 },
                 |mut s| scrub_stripe(&layout, &mut s),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

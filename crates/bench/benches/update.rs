@@ -29,7 +29,7 @@ fn bench_update(c: &mut Criterion) {
                 || s.clone(),
                 |mut s| write_logical(&layout, &mut s, 3, &new_bytes),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

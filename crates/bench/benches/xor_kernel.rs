@@ -10,15 +10,15 @@ fn bench_xor(c: &mut Criterion) {
         let mut dst: Vec<u8> = (0..size).map(|i| (i * 11) as u8).collect();
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::new("xor_into", size), &size, |b, _| {
-            b.iter(|| xor_into(&mut dst, &src))
+            b.iter(|| xor_into(&mut dst, &src));
         });
 
         let sources: Vec<Vec<u8>> = (0..11)
             .map(|k| (0..size).map(|i| ((i + k) * 13) as u8).collect())
             .collect();
-        let refs: Vec<&[u8]> = sources.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[u8]> = sources.iter().map(std::vec::Vec::as_slice).collect();
         group.bench_with_input(BenchmarkId::new("xor_many_11", size), &size, |b, _| {
-            b.iter(|| xor_many_into(&mut dst, &refs))
+            b.iter(|| xor_many_into(&mut dst, &refs));
         });
         group.bench_with_input(
             BenchmarkId::new("xor_many_11_unrolled", size),

@@ -46,10 +46,10 @@ fn bench_xor_vs_rs(c: &mut Criterion) {
             || stripe.clone(),
             |mut s| encode(&layout, &mut s),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     group.bench_function(BenchmarkId::new("encode", "RS-P+Q"), |b| {
-        b.iter(|| rs.encode(&rs_data))
+        b.iter(|| rs.encode(&rs_data));
     });
 
     // Decode a double data loss.
@@ -65,7 +65,7 @@ fn bench_xor_vs_rs(c: &mut Criterion) {
             },
             |mut s| apply_plan(&mut s, &plan),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     let (p_blk, q_blk) = rs.encode(&rs_data);
     group.bench_function(BenchmarkId::new("decode_two_lost", "RS-P+Q"), |b| {
@@ -78,7 +78,7 @@ fn bench_xor_vs_rs(c: &mut Criterion) {
             },
             |(mut d, mut pp, mut qq)| rs.decode(&mut d, &mut pp, &mut qq, Erasure::TwoData(0, 1)),
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     group.finish();
 }

@@ -59,7 +59,7 @@ fn show_write(layout: &CodeLayout, start: usize, len: usize) {
 
 fn cells(cs: &[Cell]) -> String {
     cs.iter()
-        .map(|c| c.to_string())
+        .map(std::string::ToString::to_string)
         .collect::<Vec<_>>()
         .join(" ")
 }

@@ -51,7 +51,7 @@ fn main() {
     let dir = figures_dir();
     let mut entries: Vec<_> = std::fs::read_dir(&dir)
         .expect("target/figures exists")
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .map(|e| e.path())
         .collect();
     entries.sort();

@@ -194,7 +194,7 @@ fn xml_escape(s: &str) -> String {
 
 fn trim_num(v: f64) -> String {
     if v >= 1000.0 {
-        format!("{:.0}", v)
+        format!("{v:.0}")
     } else if v >= 10.0 {
         format!("{v:.1}")
     } else {

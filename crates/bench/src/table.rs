@@ -10,7 +10,10 @@ impl Table {
     /// Start a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -24,7 +27,7 @@ impl Table {
     /// Render with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for c in 0..cols {
                 widths[c] = widths[c].max(row[c].len());

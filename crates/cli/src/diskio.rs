@@ -28,11 +28,7 @@ pub fn disk_file_len(meta: &ArrayMeta, layout: &CodeLayout) -> usize {
 pub fn scan_disks(dir: &Path, meta: &ArrayMeta, layout: &CodeLayout) -> Vec<bool> {
     let want = disk_file_len(meta, layout) as u64;
     (0..layout.disks())
-        .map(|d| {
-            std::fs::metadata(disk_path(dir, d))
-                .map(|m| m.len() == want)
-                .unwrap_or(false)
-        })
+        .map(|d| std::fs::metadata(disk_path(dir, d)).is_ok_and(|m| m.len() == want))
         .collect()
 }
 
@@ -89,7 +85,7 @@ pub fn read_disks(
         }
         let buf = std::fs::read(disk_path(dir, d))?;
         let mut off = 0;
-        for stripe in stripes.iter_mut() {
+        for stripe in &mut stripes {
             for r in 0..layout.rows() {
                 stripe
                     .block_mut(Cell::new(r, d))

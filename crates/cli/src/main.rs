@@ -29,6 +29,8 @@ USAGE:
   dcode rebuild <array-dir>
   dcode scrub <array-dir>
   dcode layout <code-name> [--p N]     # print a code's layout and spec
+  dcode verify [--code NAME] [--p N]   # statically verify compiled schedules
+  dcode verify --all                   # …for every code at p in {5,7,11,13,17}
 
 CODES: dcode (default), xcode, rdp, hcode, hdp, evenodd, pcode
 DEFAULTS: --p 7, --block 4096";
@@ -44,8 +46,12 @@ fn run() -> Result<String, CliError> {
     let mut positional: Vec<&String> = Vec::new();
     let mut flags: Vec<(&str, &str)> = Vec::new();
     let mut i = 1;
+    let mut all = false;
     while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
+        if args[i] == "--all" {
+            all = true;
+            i += 1;
+        } else if let Some(name) = args[i].strip_prefix("--") {
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| usage(&format!("flag --{name} needs a value")))?;
@@ -117,6 +123,21 @@ fn run() -> Result<String, CliError> {
                 .parse()
                 .map_err(|_| usage("--p must be a prime number"))?;
             commands::layout(code, p)
+        }
+        "verify" => {
+            if !positional.is_empty() {
+                return Err(usage("verify takes only --code/--p/--all flags"));
+            }
+            let code = flag("code")
+                .map(|name| meta::parse_code(name).map_err(|e| usage(&e)))
+                .transpose()?;
+            let p = flag("p")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| usage("--p must be a prime number"))
+                })
+                .transpose()?;
+            commands::verify(code, p, all)
         }
         other => Err(usage(&format!("unknown command '{other}'"))),
     }

@@ -54,7 +54,10 @@ impl XorProgram {
             }
             b.end_level();
         }
-        b.finish()
+        let prog = b.finish();
+        #[cfg(debug_assertions)]
+        prog.debug_assert_hazard_free();
+        prog
     }
 
     /// Lower a symbolic recovery plan into a program: one op per
@@ -93,12 +96,108 @@ impl XorProgram {
             }
             b.end_level();
         }
-        b.finish()
+        let prog = b.finish();
+        #[cfg(debug_assertions)]
+        prog.debug_assert_hazard_free();
+        prog
     }
 
     /// Grid shape this program was compiled for.
     pub fn grid(&self) -> Grid {
         self.grid
+    }
+
+    /// Linear grid index of the block op `op` writes.
+    pub fn op_target(&self, op: usize) -> usize {
+        self.targets[op] as usize
+    }
+
+    /// Linear grid indices of the blocks op `op` reads, in XOR order.
+    pub fn op_sources(&self, op: usize) -> &[u32] {
+        &self.sources[self.src_off[op] as usize..self.src_off[op + 1] as usize]
+    }
+
+    /// The ops of dependency level `level`, as a range into op indices.
+    pub fn level_ops(&self, level: usize) -> std::ops::Range<usize> {
+        self.level_off[level] as usize..self.level_off[level + 1] as usize
+    }
+
+    /// Rebuild a program from its flat arrays. Only *structural* shape is
+    /// asserted (monotone offsets covering every op); the semantic
+    /// invariants — hazard-free levels, in-range indices — are deliberately
+    /// *not* enforced, so verification tooling (`dcode-verify`) can
+    /// construct known-bad programs and prove its own checks reject them.
+    pub fn from_raw_parts(
+        grid: Grid,
+        targets: Vec<u32>,
+        src_off: Vec<u32>,
+        sources: Vec<u32>,
+        level_off: Vec<u32>,
+    ) -> Self {
+        assert_eq!(src_off.len(), targets.len() + 1, "src_off must cover ops");
+        assert!(
+            src_off.windows(2).all(|w| w[0] <= w[1])
+                && src_off.first() == Some(&0)
+                && *src_off.last().expect("non-empty") as usize == sources.len(),
+            "src_off must be monotone over sources"
+        );
+        assert!(
+            level_off.len() >= 2
+                && level_off.windows(2).all(|w| w[0] <= w[1])
+                && level_off.first() == Some(&0)
+                && *level_off.last().expect("non-empty") as usize == targets.len(),
+            "level_off must be monotone over ops"
+        );
+        XorProgram {
+            grid,
+            targets,
+            src_off,
+            sources,
+            level_off,
+        }
+    }
+
+    /// The program's flat arrays `(targets, src_off, sources, level_off)`,
+    /// cloned out. Inverse of [`XorProgram::from_raw_parts`]; used by
+    /// verification tooling to derive mutated copies.
+    pub fn raw_parts(&self) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+        (
+            self.targets.clone(),
+            self.src_off.clone(),
+            self.sources.clone(),
+            self.level_off.clone(),
+        )
+    }
+
+    /// Debug-build guard run by the compilers: every level must be
+    /// hazard-free (no op reads or writes another same-level op's target)
+    /// and every index in range, i.e. exactly the property that makes
+    /// [`XorProgram::run_parallel`] safe. The full symbolic equivalence
+    /// proof lives in the `dcode-verify` crate; this cheap structural
+    /// check catches level-grouping bugs at the moment a program is built.
+    #[cfg(debug_assertions)]
+    fn debug_assert_hazard_free(&self) {
+        let n = self.grid.len() as u32;
+        for lv in 0..self.level_count() {
+            let ops = self.level_ops(lv);
+            let written: std::collections::BTreeSet<u32> =
+                ops.clone().map(|op| self.targets[op]).collect();
+            assert_eq!(
+                written.len(),
+                ops.len(),
+                "level {lv} writes a block twice (write/write hazard)"
+            );
+            for op in ops {
+                assert!(self.targets[op] < n, "op {op} target out of range");
+                for &s in self.op_sources(op) {
+                    assert!(s < n, "op {op} source out of range");
+                    assert!(
+                        !written.contains(&s),
+                        "level {lv} op {op} reads block {s} written by the same level"
+                    );
+                }
+            }
+        }
     }
 
     /// Number of XOR operations (target blocks written).
@@ -331,6 +430,37 @@ mod tests {
         // RDP's diagonal parity reads row parity: at least two levels.
         let rdp = dcode_baselines::rdp::rdp(7).unwrap();
         assert!(XorProgram::compile_encode(&rdp).level_count() >= 2);
+    }
+
+    #[test]
+    fn parallel_replay_with_more_threads_than_ops() {
+        // A level with fewer ops than worker threads must still replay
+        // correctly (each worker gets a ≥1-op chunk; the surplus threads
+        // are simply never spawned).
+        for layout in all_codes(5) {
+            let data = payload(layout.data_len() * 16, 11);
+            let mut seq = Stripe::from_data(&layout, 16, &data);
+            let program = XorProgram::compile_encode(&layout);
+            program.run(&mut seq);
+            let max_level_ops = (0..program.level_count())
+                .map(|lv| program.level_ops(lv).len())
+                .max()
+                .unwrap();
+            for threads in [max_level_ops + 1, 64] {
+                let mut par = Stripe::from_data(&layout, 16, &data);
+                program.run_parallel(&mut par, threads);
+                assert_eq!(par, seq, "{} threads={threads}", layout.name());
+            }
+        }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let prog = XorProgram::compile_encode(&layout);
+        let (targets, src_off, sources, level_off) = prog.raw_parts();
+        let rebuilt = XorProgram::from_raw_parts(prog.grid(), targets, src_off, sources, level_off);
+        assert_eq!(rebuilt, prog);
     }
 
     #[test]

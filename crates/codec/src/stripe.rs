@@ -112,9 +112,12 @@ impl Stripe {
 
     /// Detach one block, leaving an empty placeholder behind. Together with
     /// [`Stripe::put_block_at`] this lets an executor hold a mutable target
-    /// block while reading source blocks through `&self` — no copies, no
-    /// unsafe. The placeholder is a zero-length `Box`, so taking allocates
-    /// nothing; reading a taken block trips the kernels' length asserts.
+    /// block while reading source blocks through `&self`. This is entirely
+    /// safe code: `std::mem::take` swaps in `Box::<[u8]>::default()`, and a
+    /// zero-length boxed slice is a dangling-but-valid pointer the allocator
+    /// is never asked for, so detaching allocates nothing and copies
+    /// nothing. A schedule that mistakenly reads a detached block trips the
+    /// XOR kernels' length asserts rather than observing stale data.
     pub(crate) fn take_block_at(&mut self, index: usize) -> Box<[u8]> {
         std::mem::take(&mut self.blocks[index])
     }

@@ -203,7 +203,7 @@ mod tests {
         let srcs: Vec<Vec<u8>> = (0..5)
             .map(|k| (0..33u32).map(|i| ((i + k) * 31) as u8).collect())
             .collect();
-        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
         let mut d = vec![0u8; 33];
         xor_many_into(&mut d, &refs);
         let mut expect = vec![0u8; 33];
@@ -244,7 +244,7 @@ mod tests {
                             .collect()
                     })
                     .collect();
-                let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+                let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
                 let mut naive = vec![0xAB; len];
                 xor_many_into(&mut naive, &refs);
                 let mut unrolled = vec![0xCD; len];
@@ -264,7 +264,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
         let mut naive = vec![0u8; len];
         xor_many_into(&mut naive, &refs);
         let mut unrolled = vec![0u8; len];

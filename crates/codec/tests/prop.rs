@@ -40,8 +40,8 @@ proptest! {
         let sources: Vec<Vec<u8>> = seeds.iter()
             .map(|&s| (0..len).map(|i| (s.wrapping_mul(i as u64 + 3) >> 17) as u8).collect())
             .collect();
-        let fwd: Vec<&[u8]> = sources.iter().map(|v| v.as_slice()).collect();
-        let rev: Vec<&[u8]> = sources.iter().rev().map(|v| v.as_slice()).collect();
+        let fwd: Vec<&[u8]> = sources.iter().map(std::vec::Vec::as_slice).collect();
+        let rev: Vec<&[u8]> = sources.iter().rev().map(std::vec::Vec::as_slice).collect();
         let mut d1 = vec![0u8; len];
         let mut d2 = vec![0u8; len];
         xor_many_into(&mut d1, &fwd);

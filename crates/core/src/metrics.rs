@@ -41,7 +41,11 @@ pub struct CodeMetrics {
 
 /// XOR count for a full-stripe encode: `members − 1` per equation.
 pub fn encode_xor_total(layout: &CodeLayout) -> usize {
-    layout.equations().iter().map(|e| e.xor_count()).sum()
+    layout
+        .equations()
+        .iter()
+        .map(super::equation::Equation::xor_count)
+        .sum()
 }
 
 /// XORs per data element for a full-stripe encode. The RAID-6 optimum is

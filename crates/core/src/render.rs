@@ -63,7 +63,12 @@ pub fn render_kind(layout: &CodeLayout, kind: EquationKind, letters: bool) -> St
         }
     }
 
-    let width = cell_label.iter().map(|s| s.len()).max().unwrap_or(1) + 1;
+    let width = cell_label
+        .iter()
+        .map(std::string::String::len)
+        .max()
+        .unwrap_or(1)
+        + 1;
     let mut out = String::new();
     let _ = writeln!(
         out,

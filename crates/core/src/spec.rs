@@ -97,7 +97,7 @@ pub fn parse_spec(text: &str) -> Result<CodeLayout, SpecError> {
             match key {
                 "name" => name = Some(value.to_string()),
                 "prime" => {
-                    prime = Some(value.parse().map_err(|_| err(line_no, "bad prime value"))?)
+                    prime = Some(value.parse().map_err(|_| err(line_no, "bad prime value"))?);
                 }
                 "rows" => rows = Some(value.parse().map_err(|_| err(line_no, "bad rows value"))?),
                 "cols" => cols = Some(value.parse().map_err(|_| err(line_no, "bad cols value"))?),

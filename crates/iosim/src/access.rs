@@ -170,7 +170,7 @@ pub fn plan_degraded_segment(
         })
         .collect();
 
-    let combos: usize = options.iter().map(|o| o.len()).product();
+    let combos: usize = options.iter().map(std::vec::Vec::len).product();
     let (chosen_eqs, extra_reads) = if combos == 0 {
         (Vec::new(), BTreeSet::new())
     } else if combos <= 4096 {
@@ -392,7 +392,7 @@ pub fn degraded_write_accesses(
                         })
                         .collect::<Vec<Cell>>()
                 })
-                .min_by_key(|cells| cells.len())
+                .min_by_key(std::vec::Vec::len)
                 .expect("every data cell has at least one equation");
             extra.extend(best);
         }

@@ -1,0 +1,140 @@
+//! Schedule lints: findings that don't (necessarily) change the computed
+//! bytes but mark a program as malformed, wasteful, or over-serialized.
+//!
+//! The passes here are purely structural — no symbol vectors — so they run
+//! in `O(ops + sources)` and apply to hand-built programs as well as
+//! compiler output. Anything the compilers emit today lints clean; the
+//! mutation suite proves each lint fires on the corruption class it names.
+
+use crate::diag::{DiagKind, Diagnostic};
+use dcode_codec::XorProgram;
+use std::collections::BTreeMap;
+
+/// Run every lint over `program`.
+pub fn lint(program: &XorProgram) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_sources(program, &mut out);
+    lint_dead_ops(program, &mut out);
+    lint_level_minimality(program, &mut out);
+    out
+}
+
+/// Per-op source-list lints: self-references, duplicate sources, empty ops.
+fn lint_sources(program: &XorProgram, out: &mut Vec<Diagnostic>) {
+    for op in 0..program.op_count() {
+        let target = program.op_target(op);
+        let sources = program.op_sources(op);
+        if sources.is_empty() {
+            out.push(Diagnostic::warning(DiagKind::EmptyOp { op }));
+        }
+        if sources.iter().any(|&s| s as usize == target) {
+            // The executor detaches the target before gathering, so this
+            // panics at replay time — an error, not a style nit.
+            out.push(Diagnostic::error(DiagKind::SelfReference { op }));
+        }
+        let mut multiplicity: BTreeMap<u32, usize> = BTreeMap::new();
+        for &s in sources {
+            *multiplicity.entry(s).or_insert(0) += 1;
+        }
+        for (block, count) in multiplicity {
+            if count > 1 {
+                out.push(Diagnostic::warning(DiagKind::DuplicateSource {
+                    op,
+                    block: block as usize,
+                    multiplicity: count,
+                }));
+            }
+        }
+    }
+}
+
+/// Flag ops whose target is overwritten by a later op before any op reads
+/// it — the earlier computation is dead.
+fn lint_dead_ops(program: &XorProgram, out: &mut Vec<Diagnostic>) {
+    // last_write[block] = (op, has the value been read since?)
+    let mut last_write: BTreeMap<usize, (usize, bool)> = BTreeMap::new();
+    for op in 0..program.op_count() {
+        for &s in program.op_sources(op) {
+            if let Some(entry) = last_write.get_mut(&(s as usize)) {
+                entry.1 = true;
+            }
+        }
+        let target = program.op_target(op);
+        if let Some(&(prev_op, read)) = last_write.get(&target) {
+            if !read {
+                out.push(Diagnostic::warning(DiagKind::DeadOp {
+                    op: prev_op,
+                    shadowed_by: op,
+                }));
+            }
+        }
+        last_write.insert(target, (op, false));
+    }
+}
+
+/// Flag ops placed later than their data dependencies require. An op's
+/// earliest legal level is one past the deepest same-or-earlier-level op
+/// that produces one of its sources or previously wrote its target; a gap
+/// means the level structure serializes needlessly.
+fn lint_level_minimality(program: &XorProgram, out: &mut Vec<Diagnostic>) {
+    let mut level_of_op = vec![0usize; program.op_count()];
+    for lv in 0..program.level_count() {
+        for op in program.level_ops(lv) {
+            level_of_op[op] = lv;
+        }
+    }
+    // Deepest level at which each block was last written, as the op list is
+    // walked in order.
+    let mut written_at: BTreeMap<usize, usize> = BTreeMap::new();
+    for (op, &level) in level_of_op.iter().enumerate() {
+        let mut earliest = 0usize;
+        for &s in program.op_sources(op) {
+            if let Some(&lv) = written_at.get(&(s as usize)) {
+                earliest = earliest.max(lv + 1);
+            }
+        }
+        let target = program.op_target(op);
+        if let Some(&lv) = written_at.get(&target) {
+            // Write-after-write: must stay past the previous writer.
+            earliest = earliest.max(lv + 1);
+        }
+        if earliest < level {
+            out.push(Diagnostic::warning(DiagKind::HoistableOp {
+                op,
+                level,
+                earliest,
+            }));
+        }
+        written_at.insert(target, level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_baselines::registry::all_codes;
+    use dcode_core::decoder::plan_column_recovery;
+
+    #[test]
+    fn compiled_programs_lint_clean() {
+        for p in [5usize, 7, 11] {
+            for layout in all_codes(p) {
+                let prog = XorProgram::compile_encode(&layout);
+                let diags = lint(&prog);
+                assert!(diags.is_empty(), "{} p={p}: {:?}", layout.name(), diags);
+                for c1 in 0..layout.disks() {
+                    for c2 in c1 + 1..layout.disks() {
+                        let plan = plan_column_recovery(&layout, &[c1, c2]).unwrap();
+                        let prog = XorProgram::compile_plan(layout.grid(), &plan);
+                        let diags = lint(&prog);
+                        assert!(
+                            diags.is_empty(),
+                            "{} p={p} cols=({c1},{c2}): {diags:?}",
+                            layout.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

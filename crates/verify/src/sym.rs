@@ -1,0 +1,129 @@
+//! The symbolic GF(2) domain.
+//!
+//! Every block in a stripe is modeled as an element of the vector space
+//! GF(2)^d, where `d` is the layout's number of data symbols: the vector
+//! records *which data elements are XORed into the block's current
+//! contents*. Data element `j` starts as the unit vector `e_j`, parities
+//! start at `0`, and every XOR over real byte blocks is mirrored exactly by
+//! vector addition over GF(2) — XOR is linear and the codec never does
+//! anything but XOR. A claim proved in this domain therefore holds for
+//! *every* payload and *every* block size at once, which is what lets the
+//! verifier replace sampled byte-level testing with proof.
+
+use std::fmt;
+
+/// One symbolic block value: a bit-vector over the stripe's data symbols.
+/// Bit `j` set means data element `j` (in the layout's logical order)
+/// contributes to the block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymVec {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl SymVec {
+    /// The zero vector of dimension `dim` (an erased or unwritten block).
+    pub fn zero(dim: usize) -> Self {
+        SymVec {
+            dim,
+            words: vec![0; dim.div_ceil(64).max(1)],
+        }
+    }
+
+    /// The unit vector `e_j` (a pristine data block holding element `j`).
+    pub fn unit(dim: usize, j: usize) -> Self {
+        assert!(j < dim, "symbol {j} outside dimension {dim}");
+        let mut v = SymVec::zero(dim);
+        v.words[j / 64] |= 1 << (j % 64);
+        v
+    }
+
+    /// Dimension of the symbol space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether symbol `j` contributes.
+    pub fn get(&self, j: usize) -> bool {
+        debug_assert!(j < self.dim);
+        self.words[j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Toggle symbol `j`'s contribution.
+    pub fn toggle(&mut self, j: usize) {
+        debug_assert!(j < self.dim);
+        self.words[j / 64] ^= 1 << (j % 64);
+    }
+
+    /// GF(2) addition: `self ^= other`. Mirrors XORing two byte blocks.
+    pub fn xor_assign(&mut self, other: &SymVec) {
+        debug_assert_eq!(self.dim, other.dim, "mixed symbol spaces");
+        for (d, s) in self.words.iter_mut().zip(&other.words) {
+            *d ^= s;
+        }
+    }
+
+    /// Whether no symbol contributes (the all-zero block).
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of contributing symbols (the XOR fan-in from data).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The contributing symbol indices, ascending. This is the
+    /// machine-readable form carried by equivalence diagnostics.
+    pub fn symbols(&self) -> Vec<usize> {
+        (0..self.dim).filter(|&j| self.get(j)).collect()
+    }
+}
+
+impl fmt::Display for SymVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        for (i, j) in self.symbols().into_iter().enumerate() {
+            if i > 0 {
+                f.write_str("^")?;
+            }
+            write!(f, "d{j}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_vectors_are_orthogonal_symbols() {
+        let a = SymVec::unit(100, 3);
+        let b = SymVec::unit(100, 99);
+        assert!(a.get(3) && !a.get(99));
+        assert!(b.get(99));
+        assert_eq!(a.weight(), 1);
+    }
+
+    #[test]
+    fn xor_cancels_pairs() {
+        let mut v = SymVec::unit(10, 2);
+        v.xor_assign(&SymVec::unit(10, 5));
+        assert_eq!(v.symbols(), vec![2, 5]);
+        v.xor_assign(&SymVec::unit(10, 2));
+        assert_eq!(v.symbols(), vec![5]);
+        v.xor_assign(&SymVec::unit(10, 5));
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut v = SymVec::unit(8, 1);
+        v.toggle(6);
+        assert_eq!(v.to_string(), "d1^d6");
+        assert_eq!(SymVec::zero(8).to_string(), "0");
+    }
+}

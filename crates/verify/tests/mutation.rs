@@ -1,0 +1,280 @@
+//! Guarding the guard: corrupt valid compiled programs and prove the
+//! verifier rejects every corruption class. A verifier that accepts
+//! mutants would give exactly the false confidence this crate exists to
+//! remove, so each injected fault must surface as at least one diagnostic
+//! from the pass that owns it.
+
+use dcode_codec::XorProgram;
+use dcode_core::decoder::plan_column_recovery;
+use dcode_core::grid::Cell;
+use dcode_core::layout::CodeLayout;
+use dcode_verify::{check_levels, lint, verify_encode_program, verify_plan_program, DiagKind};
+use std::collections::BTreeSet;
+
+fn layouts() -> Vec<CodeLayout> {
+    vec![
+        dcode_core::dcode::dcode(7).unwrap(),
+        dcode_core::dcode::xcode(7).unwrap(),
+        dcode_baselines::rdp::rdp(7).unwrap(),
+        dcode_baselines::evenodd::evenodd(5).unwrap(),
+    ]
+}
+
+/// Rebuild a program with one field edited via the raw arrays.
+fn mutate(
+    prog: &XorProgram,
+    f: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>, &mut Vec<u32>, &mut Vec<u32>),
+) -> XorProgram {
+    let (mut targets, mut src_off, mut sources, mut level_off) = prog.raw_parts();
+    f(&mut targets, &mut src_off, &mut sources, &mut level_off);
+    XorProgram::from_raw_parts(prog.grid(), targets, src_off, sources, level_off)
+}
+
+#[test]
+fn swapped_source_is_rejected() {
+    for layout in layouts() {
+        let prog = XorProgram::compile_encode(&layout);
+        // Redirect op 0's first source to a different block: the symbolic
+        // sum changes, so equivalence must flag the target.
+        let original = prog.op_sources(0)[0];
+        let replacement = (0..layout.grid().len() as u32)
+            .find(|&b| {
+                b != original && b != prog.op_target(0) as u32 && !prog.op_sources(0).contains(&b)
+            })
+            .expect("grid has a spare block");
+        let mutant = mutate(&prog, |_, _, sources, _| sources[0] = replacement);
+        let diags = verify_encode_program(&layout, &mutant);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::WrongSymbols { .. })),
+            "{}: swapped source not caught: {diags:?}",
+            layout.name()
+        );
+    }
+}
+
+#[test]
+fn dropped_source_is_rejected() {
+    for layout in layouts() {
+        let prog = XorProgram::compile_encode(&layout);
+        // Remove op 0's last source (shrink its src_off window; every later
+        // offset shifts down by one).
+        let mutant = mutate(&prog, |_, src_off, sources, _| {
+            let cut = src_off[1] as usize - 1;
+            sources.remove(cut);
+            for off in src_off.iter_mut().skip(1) {
+                *off -= 1;
+            }
+        });
+        let diags = verify_encode_program(&layout, &mutant);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::WrongSymbols { .. })),
+            "{}: dropped source not caught: {diags:?}",
+            layout.name()
+        );
+    }
+}
+
+#[test]
+fn duplicated_source_is_rejected() {
+    for layout in layouts() {
+        let prog = XorProgram::compile_encode(&layout);
+        // Append a copy of op 0's first source: even multiplicity cancels
+        // its contribution, so both the linter and equivalence must object.
+        let mutant = mutate(&prog, |_, src_off, sources, _| {
+            let dup = sources[0];
+            sources.insert(src_off[1] as usize, dup);
+            for off in src_off.iter_mut().skip(1) {
+                *off += 1;
+            }
+        });
+        let lints = lint(&mutant);
+        assert!(
+            lints
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::DuplicateSource { op: 0, .. })),
+            "{}: duplicate source not linted: {lints:?}",
+            layout.name()
+        );
+        let diags = verify_encode_program(&layout, &mutant);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::WrongSymbols { .. })),
+            "{}: cancelled source not caught symbolically",
+            layout.name()
+        );
+    }
+}
+
+#[test]
+fn self_referencing_target_is_rejected() {
+    for layout in layouts() {
+        let prog = XorProgram::compile_encode(&layout);
+        let target = prog.op_target(0) as u32;
+        let mutant = mutate(&prog, |_, _, sources, _| sources[0] = target);
+        let lints = lint(&mutant);
+        assert!(
+            lints
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::SelfReference { op: 0 })),
+            "{}: self-reference not linted: {lints:?}",
+            layout.name()
+        );
+    }
+}
+
+#[test]
+fn op_moved_across_level_boundary_is_rejected() {
+    // RDP's diagonal parity reads row parity, so its encode program has a
+    // real dependency between level 0 and level 1. Shift the boundary so a
+    // level-1 op (which reads level-0 targets) lands in level 0: now a
+    // reader and its producer share a level — a read/write hazard.
+    let layout = dcode_baselines::rdp::rdp(7).unwrap();
+    let prog = XorProgram::compile_encode(&layout);
+    assert!(prog.level_count() >= 2, "RDP must have dependent levels");
+    let mutant = mutate(&prog, |_, _, _, level_off| level_off[1] += 1);
+    let diags = check_levels(&mutant);
+    assert!(
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::ReadWriteHazard { level: 0, .. })),
+        "moved op not caught as a hazard: {diags:?}"
+    );
+}
+
+#[test]
+fn op_delayed_into_a_late_level_is_flagged_non_minimal() {
+    // The opposite boundary shift: an independent level-0 op pushed into
+    // level 1. Nothing races, but the schedule now serializes more than
+    // its dependencies require — the minimality lint owns this class.
+    let layout = dcode_core::dcode::dcode(7).unwrap();
+    let prog = XorProgram::compile_encode(&layout);
+    assert_eq!(prog.level_count(), 1, "D-Code encode is a single level");
+    let mutant = mutate(&prog, |targets, _, _, level_off| {
+        // Split the single level so the last op sits alone in a new level.
+        let boundary = targets.len() as u32 - 1;
+        let end = level_off.pop().expect("level table non-empty");
+        level_off.push(boundary);
+        level_off.push(end);
+    });
+    let diags = lint(&mutant);
+    assert!(
+        diags.iter().any(|d| matches!(
+            d.kind,
+            DiagKind::HoistableOp {
+                level: 1,
+                earliest: 0,
+                ..
+            }
+        )),
+        "needless level not flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn duplicate_target_in_a_level_is_rejected() {
+    for layout in layouts() {
+        let prog = XorProgram::compile_encode(&layout);
+        let first = prog.op_target(0) as u32;
+        // Make op 1 (same level as op 0 whenever the first level has ≥ 2
+        // ops) write op 0's target.
+        if prog.level_ops(0).len() < 2 {
+            continue;
+        }
+        let mutant = mutate(&prog, |targets, _, _, _| targets[1] = first);
+        let diags = check_levels(&mutant);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::WriteWriteHazard { level: 0, .. })),
+            "{}: duplicate target not caught: {diags:?}",
+            layout.name()
+        );
+    }
+}
+
+#[test]
+fn out_of_range_reference_is_rejected() {
+    let layout = dcode_core::dcode::dcode(5).unwrap();
+    let prog = XorProgram::compile_encode(&layout);
+    let beyond = layout.grid().len() as u32 + 3;
+    let mutant = mutate(&prog, |_, _, sources, _| sources[0] = beyond);
+    let diags = check_levels(&mutant);
+    assert!(
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::OutOfRange { op: 0, .. })),
+        "out-of-range source not caught: {diags:?}"
+    );
+    // Equivalence aborts on the same defect instead of panicking.
+    let diags = verify_encode_program(&layout, &mutant);
+    assert!(diags
+        .iter()
+        .any(|d| matches!(d.kind, DiagKind::OutOfRange { .. })));
+}
+
+#[test]
+fn corrupted_recovery_program_is_rejected() {
+    let layout = dcode_core::dcode::dcode(7).unwrap();
+    let plan = plan_column_recovery(&layout, &[1, 4]).unwrap();
+    let prog = XorProgram::compile_plan(layout.grid(), &plan);
+    let erased: BTreeSet<Cell> = layout
+        .grid()
+        .column(1)
+        .chain(layout.grid().column(4))
+        .collect();
+    assert!(verify_plan_program(&layout, &prog, &erased).is_empty());
+
+    // Drop the final op: its target stays zeroed, so the plan no longer
+    // restores the stripe.
+    let mutant = mutate(&prog, |targets, src_off, sources, level_off| {
+        targets.pop();
+        let lo = src_off[src_off.len() - 2] as usize;
+        sources.truncate(lo);
+        src_off.pop();
+        let ops = targets.len() as u32;
+        for off in level_off.iter_mut() {
+            *off = (*off).min(ops);
+        }
+        level_off.dedup();
+        if level_off.len() == 1 {
+            level_off.push(ops);
+        }
+    });
+    let diags = verify_plan_program(&layout, &mutant, &erased);
+    assert!(
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::WrongSymbols { .. })),
+        "dropped recovery op not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn dead_op_is_flagged() {
+    let layout = dcode_core::dcode::dcode(5).unwrap();
+    let prog = XorProgram::compile_encode(&layout);
+    // Append a copy of the final op into a fresh level: the original
+    // op's value is recomputed before anything reads it, so one of the
+    // two writes is dead.
+    let mutant = mutate(&prog, |targets, src_off, sources, level_off| {
+        let last = targets.len() - 1;
+        let (lo, hi) = (src_off[last] as usize, src_off[last + 1] as usize);
+        let dup: Vec<u32> = sources[lo..hi].to_vec();
+        targets.push(targets[last]);
+        sources.extend(dup);
+        src_off.push(sources.len() as u32);
+        level_off.push(targets.len() as u32);
+    });
+    let diags = lint(&mutant);
+    assert!(
+        diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::DeadOp { .. })),
+        "dead op not flagged: {diags:?}"
+    );
+}

@@ -44,7 +44,7 @@ fn main() {
     array.stripe_mut(3).block_mut(dcode::core::Cell::new(2, 5))[7] ^= 0xA5;
     match scrub_stripe(&dcode(7).unwrap(), array.stripe_mut(3)) {
         ScrubReport::Repaired { cell } => {
-            println!("scrub localized and repaired silent corruption at element {cell}")
+            println!("scrub localized and repaired silent corruption at element {cell}");
         }
         other => panic!("expected repair, got {other:?}"),
     }

@@ -14,6 +14,7 @@
 //! | [`disksim`] | `dcode-disksim` | simulated Savvio-class disk array, read-speed experiments (Figures 6–7) |
 //! | [`recovery`] | `dcode-recovery` | conventional vs hybrid single-disk rebuild optimization |
 //! | [`mod@array`] | `dcode-array` | multi-stripe array: rotation, degraded service, rebuild, scrubbing |
+//! | [`verify`] | `dcode-verify` | symbolic GF(2) verifier, static race checker, and schedule linter for compiled XOR programs |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -39,3 +40,4 @@ pub use dcode_core as core;
 pub use dcode_disksim as disksim;
 pub use dcode_iosim as iosim;
 pub use dcode_recovery as recovery;
+pub use dcode_verify as verify;
