@@ -1,0 +1,42 @@
+//! The element-addressed block-device interface shared by the array
+//! implementations.
+//!
+//! Two arrays live in this crate: the in-memory [`Array`](crate::Array)
+//! (stripes held directly, binary disk-present/absent failure model) and
+//! the backend-driven [`ResilientArray`](crate::ResilientArray) (typed
+//! disk errors, retries, checksums, hot-spare rebuild). [`ElementIo`]
+//! abstracts over both so consumers like the object store work unchanged
+//! on either. Methods take `&mut self` even for reads: a resilient read
+//! retries, records errors, and can trigger state transitions.
+
+use crate::array::{Array, ArrayError};
+
+/// Logical element-granular I/O over a RAID-6 array.
+pub trait ElementIo {
+    /// Total logical data elements.
+    fn capacity_elements(&self) -> usize;
+    /// Bytes per element.
+    fn element_size(&self) -> usize;
+    /// Read `count` elements starting at `start`.
+    fn read_elements(&mut self, start: usize, count: usize) -> Result<Vec<u8>, ArrayError>;
+    /// Write `bytes` (a multiple of the element size) starting at `start`.
+    fn write_elements(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError>;
+}
+
+impl ElementIo for Array {
+    fn capacity_elements(&self) -> usize {
+        Array::capacity_elements(self)
+    }
+
+    fn element_size(&self) -> usize {
+        self.capacity_bytes() / Array::capacity_elements(self)
+    }
+
+    fn read_elements(&mut self, start: usize, count: usize) -> Result<Vec<u8>, ArrayError> {
+        self.read(start, count)
+    }
+
+    fn write_elements(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError> {
+        self.write(start, bytes)
+    }
+}

@@ -6,6 +6,14 @@
 //!
 //! * [`mod@array`] — logical element addressing across stripes, failure
 //!   injection, degraded reads, incremental writes, whole-disk rebuild;
+//! * [`resilient`] — the same addressing over a fault-injectable
+//!   [`DiskBackend`](dcode_faults::DiskBackend): retry policy with backoff
+//!   accounting, per-block CRC32 catching silent corruption, sector-level
+//!   degraded reads, error-threshold auto-fail, hot-spare rebuild with a
+//!   mid-rebuild-correct watermark;
+//! * [`chaos`] — a seeded chaos soak harness replaying randomized
+//!   op/fault schedules against an in-memory oracle;
+//! * [`device`] — the [`ElementIo`] trait both arrays implement;
 //! * [`rotation`] — stripe-by-stripe logical→physical column rotation
 //!   (the RAID-5-style global balancing the paper's Section II discusses);
 //! * [`loadstudy`] — quantifies why rotation cannot fix an unbalanced code
@@ -30,13 +38,19 @@
 //! ```
 
 pub mod array;
+pub mod chaos;
+pub mod device;
 pub mod loadstudy;
 pub mod objstore;
+pub mod resilient;
 pub mod rotation;
 pub mod scrub;
 
 pub use array::{Array, ArrayError};
+pub use chaos::{soak, ChaosConfig, ChaosReport};
+pub use device::ElementIo;
 pub use loadstudy::{lf, physical_loads, StripeSkew};
 pub use objstore::{ObjectStore, StoreError};
+pub use resilient::{ResilientArray, ResilientStats, RetryPolicy, SlotState};
 pub use rotation::RotationScheme;
-pub use scrub::{failing_equations, scrub_stripe, ScrubReport};
+pub use scrub::{failing_equations, scrub_stripe, scrub_stripe_dry, ScrubReport};

@@ -1,9 +1,14 @@
-//! A small object store on top of the RAID-6 [`Array`] — the kind of
+//! A small object store on top of a RAID-6 array — the kind of
 //! application the paper's introduction motivates (cloud/object storage on
 //! dependable arrays). Demonstrates that the array layer is a real block
 //! device: the store's own metadata lives *inside* the array (first
 //! elements of the address space), so a store can be re-opened from a
 //! (possibly degraded) array alone.
+//!
+//! The store is generic over [`ElementIo`], so it runs unchanged on the
+//! in-memory [`Array`] or on a backend-driven
+//! [`ResilientArray`](crate::ResilientArray) with retries, checksums, and
+//! hot-spare rebuild underneath.
 //!
 //! Design: a fixed metadata region at the front holds a text index
 //! (`name,start,len_bytes` per line); objects are allocated first-fit on
@@ -11,6 +16,7 @@
 //! transactions — but every byte path goes through RAID-6 encode/recover.
 
 use crate::array::{Array, ArrayError};
+use crate::device::ElementIo;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -55,23 +61,23 @@ impl From<ArrayError> for StoreError {
     }
 }
 
-/// An object store over a RAID-6 array.
-pub struct ObjectStore {
-    array: Array,
+/// An object store over any RAID-6 array implementing [`ElementIo`].
+pub struct ObjectStore<D: ElementIo = Array> {
+    array: D,
     /// Elements reserved for the index at the front of the address space.
     meta_elements: usize,
     /// name → (start element, byte length).
     index: BTreeMap<String, (usize, usize)>,
 }
 
-impl ObjectStore {
+impl<D: ElementIo> ObjectStore<D> {
     /// Format a fresh store on `array`, reserving `meta_elements` elements
     /// for the index.
-    pub fn format(mut array: Array, meta_elements: usize) -> Result<Self, StoreError> {
+    pub fn format(mut array: D, meta_elements: usize) -> Result<Self, StoreError> {
         assert!(meta_elements >= 1);
         assert!(meta_elements < array.capacity_elements());
-        let block = array.capacity_bytes() / array.capacity_elements();
-        array.write(0, &vec![0u8; meta_elements * block])?;
+        let block = array.element_size();
+        array.write_elements(0, &vec![0u8; meta_elements * block])?;
         let mut store = ObjectStore {
             array,
             meta_elements,
@@ -83,9 +89,8 @@ impl ObjectStore {
 
     /// Re-open a store from an existing array (reads the on-array index,
     /// reconstructing through failures if needed).
-    pub fn open(array: Array, meta_elements: usize) -> Result<Self, StoreError> {
-        let block = array.capacity_bytes() / array.capacity_elements();
-        let raw = array.read(0, meta_elements)?;
+    pub fn open(mut array: D, meta_elements: usize) -> Result<Self, StoreError> {
+        let raw = array.read_elements(0, meta_elements)?;
         let text = String::from_utf8_lossy(&raw);
         let mut index = BTreeMap::new();
         for line in text.lines() {
@@ -106,7 +111,6 @@ impl ObjectStore {
                 .map_err(|_| StoreError::BadIndex(format!("len '{len}'")))?;
             index.insert(name.to_string(), (start, len));
         }
-        let _ = block;
         Ok(ObjectStore {
             array,
             meta_elements,
@@ -115,12 +119,12 @@ impl ObjectStore {
     }
 
     /// The underlying array (for failure injection in tests/demos).
-    pub fn array_mut(&mut self) -> &mut Array {
+    pub fn array_mut(&mut self) -> &mut D {
         &mut self.array
     }
 
     fn block_size(&self) -> usize {
-        self.array.capacity_bytes() / self.array.capacity_elements()
+        self.array.element_size()
     }
 
     fn elements_for(&self, bytes: usize) -> usize {
@@ -140,7 +144,7 @@ impl ObjectStore {
         }
         let mut buf = text.into_bytes();
         buf.resize(cap, 0);
-        self.array.write(0, &buf)?;
+        self.array.write_elements(0, &buf)?;
         Ok(())
     }
 
@@ -179,18 +183,20 @@ impl ObjectStore {
         let block = self.block_size();
         let mut padded = bytes.to_vec();
         padded.resize(elements * block, 0);
-        self.array.write(start, &padded)?;
+        self.array.write_elements(start, &padded)?;
         self.index.insert(name.to_string(), (start, bytes.len()));
         self.persist_index()
     }
 
-    /// Fetch an object's bytes (works while degraded).
-    pub fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+    /// Fetch an object's bytes (works while degraded). Takes `&mut self`:
+    /// a resilient read may retry, repair, and transition disk states.
+    pub fn get(&mut self, name: &str) -> Result<Vec<u8>, StoreError> {
         let &(start, len) = self
             .index
             .get(name)
             .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
-        let mut bytes = self.array.read(start, self.elements_for(len))?;
+        let count = self.elements_for(len);
+        let mut bytes = self.array.read_elements(start, count)?;
         bytes.truncate(len);
         Ok(bytes)
     }
@@ -256,7 +262,7 @@ mod tests {
         // alone (the index lives in the array).
         let mut array = Array::new(dcode(7).unwrap(), 64, 8, RotationScheme::PerStripe);
         std::mem::swap(&mut array, s.array_mut());
-        let reopened = ObjectStore::open(array, 4).unwrap();
+        let mut reopened = ObjectStore::open(array, 4).unwrap();
         assert_eq!(reopened.get("precious").unwrap(), payload);
     }
 

@@ -1,0 +1,884 @@
+//! A fault-tolerant array over a [`DiskBackend`]: the layer that turns the
+//! coding theory into a survivable storage device.
+//!
+//! The in-memory [`Array`](crate::Array) models the textbook failure mode —
+//! a disk is present or absent. This array faces the failure modes real
+//! RAID-6 deployments document (SD codes' disk+sector model, "Beyond RAID
+//! 6"'s silent corruption): sectors die individually, writes tear, bits
+//! rot, devices stall and then vanish. The machinery, bottom to top:
+//!
+//! * every block read passes through a [`RetryPolicy`] — bounded retries
+//!   with exponential backoff *accounting* (virtual microseconds, never
+//!   slept);
+//! * every block carries a CRC32; a mismatch converts silent corruption
+//!   into a detectable erasure, served through parity and then repaired
+//!   in place (read-repair);
+//! * a sector-level read failure degrades only the *elements* that need
+//!   it: a [`plan_recovery`] subplan reconstructs the lost cells from the
+//!   survivors, without failing the whole disk;
+//! * a slot whose error count crosses the threshold auto-transitions to
+//!   `Failed`, and a configured hot spare is attached automatically;
+//! * rebuild onto the spare runs incrementally ([`rebuild_step`]) with a
+//!   per-block watermark, and reads are served correctly mid-rebuild:
+//!   below the watermark from the spare, above it through parity.
+//!
+//! Writes are full-stripe read-modify-write (reconstructing through
+//! failures first), so the array accepts writes while degraded — the
+//! limitation the in-memory array documents away is handled here.
+//!
+//! [`rebuild_step`]: ResilientArray::rebuild_step
+
+use crate::array::ArrayError;
+use crate::device::ElementIo;
+use crate::rotation::RotationScheme;
+use dcode_codec::{apply_plan, encode, Stripe};
+use dcode_core::decoder::plan_recovery;
+use dcode_core::grid::Cell;
+use dcode_core::layout::CodeLayout;
+use dcode_faults::{crc32, DiskBackend, DiskError};
+use std::collections::BTreeSet;
+
+/// Bounded-retry policy for transient backend errors.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub max_retries: usize,
+    /// Backoff charged before retry `k` is `backoff_base_us << k` virtual
+    /// microseconds — accounted in [`ResilientStats::backoff_us`], never
+    /// slept.
+    pub backoff_base_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_us: 500,
+        }
+    }
+}
+
+/// Health of one array slot (a logical position of the code, mapped to a
+/// physical backend disk).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SlotState {
+    /// Serving reads and writes normally.
+    Healthy,
+    /// Past the error threshold or reported dead; served through parity.
+    Failed,
+    /// Mapped to a hot spare; blocks below the rebuild watermark are
+    /// valid, the rest are served through parity.
+    Rebuilding,
+}
+
+/// Counters for everything the resilient layer did.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ResilientStats {
+    /// Logical elements read.
+    pub element_reads: u64,
+    /// Logical elements written.
+    pub element_writes: u64,
+    /// Backend retries issued for transient errors.
+    pub retries: u64,
+    /// Virtual backoff charged across all retries, microseconds.
+    pub backoff_us: u64,
+    /// Reads (or write-path fetches) that needed parity reconstruction.
+    pub degraded_reads: u64,
+    /// Blocks whose CRC32 did not match — silent corruption converted
+    /// into an erasure.
+    pub checksum_catches: u64,
+    /// Reconstructed blocks written back in place after a checksum catch
+    /// or sector failure on an otherwise healthy slot.
+    pub read_repairs: u64,
+    /// Slots auto-transitioned to `Failed` (error threshold or device
+    /// reported dead).
+    pub auto_fails: u64,
+    /// Hot spares attached.
+    pub spares_attached: u64,
+    /// Rebuilds run to completion.
+    pub rebuilds_completed: u64,
+    /// Blocks reconstructed onto spares.
+    pub rebuilt_blocks: u64,
+}
+
+/// In-progress rebuild: blocks `[0, next_block)` of `slot` are already
+/// reconstructed onto its new disk.
+struct Rebuild {
+    slot: usize,
+    next_block: usize,
+}
+
+/// A RAID-6 array served from a [`DiskBackend`], with retries, checksums,
+/// sector-level degraded reads, auto-failure, and hot-spare rebuild.
+pub struct ResilientArray<B> {
+    layout: CodeLayout,
+    rotation: RotationScheme,
+    block_size: usize,
+    n_stripes: usize,
+    backend: B,
+    /// Slot → physical backend disk (remapped when a spare is attached).
+    slot_to_disk: Vec<usize>,
+    /// Physical disks not yet mapped to any slot, in attach order.
+    spares: Vec<usize>,
+    state: Vec<SlotState>,
+    /// Cumulative hard-error count per slot (reset on spare attach).
+    errors: Vec<usize>,
+    /// Expected CRC32 of every block's *logical* content, `[slot][block]`.
+    /// Updated on every write, even to failed slots (the expected content
+    /// is what a rebuild must reproduce). A real deployment would persist
+    /// these in the metadata region; the simulation keeps them in memory.
+    crc: Vec<Vec<u32>>,
+    policy: RetryPolicy,
+    fail_threshold: usize,
+    rebuild: Option<Rebuild>,
+    stats: ResilientStats,
+}
+
+impl<B: DiskBackend> ResilientArray<B> {
+    /// Build a fresh array over a zero-filled backend. The backend must
+    /// hold at least `layout.disks()` devices of `n_stripes × rows`
+    /// blocks; extra devices become hot spares. All-zero stripes are
+    /// parity-consistent, so no initial encode pass is needed — but the
+    /// backend really must be zeroed (as [`MemBackend::new`] and
+    /// [`FileBackend::create`] guarantee).
+    ///
+    /// [`MemBackend::new`]: dcode_faults::MemBackend::new
+    /// [`FileBackend::create`]: dcode_faults::FileBackend::create
+    pub fn format(
+        layout: CodeLayout,
+        block_size: usize,
+        n_stripes: usize,
+        rotation: RotationScheme,
+        backend: B,
+        policy: RetryPolicy,
+        fail_threshold: usize,
+    ) -> Self {
+        assert!(n_stripes > 0 && block_size > 0 && fail_threshold > 0);
+        assert_eq!(backend.block_size(), block_size, "backend block size");
+        assert_eq!(
+            backend.blocks(),
+            n_stripes * layout.rows(),
+            "backend blocks per disk"
+        );
+        assert!(backend.disks() >= layout.disks(), "not enough disks");
+        let slots = layout.disks();
+        let zero_crc = crc32(&vec![0u8; block_size]);
+        ResilientArray {
+            slot_to_disk: (0..slots).collect(),
+            spares: (slots..backend.disks()).collect(),
+            state: vec![SlotState::Healthy; slots],
+            errors: vec![0; slots],
+            crc: vec![vec![zero_crc; n_stripes * layout.rows()]; slots],
+            layout,
+            rotation,
+            block_size,
+            n_stripes,
+            backend,
+            policy,
+            fail_threshold,
+            rebuild: None,
+            stats: ResilientStats::default(),
+        }
+    }
+
+    /// The code this array runs.
+    pub fn layout(&self) -> &CodeLayout {
+        &self.layout
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.n_stripes
+    }
+
+    /// Bytes per element block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Logical data capacity in elements.
+    pub fn capacity_elements(&self) -> usize {
+        self.n_stripes * self.layout.data_len()
+    }
+
+    /// Logical data capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_elements() * self.block_size
+    }
+
+    /// Per-slot health.
+    pub fn slot_states(&self) -> &[SlotState] {
+        &self.state
+    }
+
+    /// Slots currently failed (not counting rebuilding slots).
+    pub fn failed_slots(&self) -> Vec<usize> {
+        (0..self.state.len())
+            .filter(|&s| self.state[s] == SlotState::Failed)
+            .collect()
+    }
+
+    /// Physical backend disk currently serving `slot`.
+    pub fn slot_disk(&self, slot: usize) -> usize {
+        self.slot_to_disk[slot]
+    }
+
+    /// Hot spares not yet attached.
+    pub fn spares_remaining(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &ResilientStats {
+        &self.stats
+    }
+
+    /// Rebuild progress as `(slot, blocks_done, blocks_total)`.
+    pub fn rebuild_progress(&self) -> Option<(usize, usize, usize)> {
+        self.rebuild
+            .as_ref()
+            .map(|r| (r.slot, r.next_block, self.total_blocks()))
+    }
+
+    /// Direct access to the backend (chaos harnesses reach through to the
+    /// fault injector; tests corrupt the medium beneath the checksums).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    fn rows(&self) -> usize {
+        self.layout.rows()
+    }
+
+    fn total_blocks(&self) -> usize {
+        self.n_stripes * self.rows()
+    }
+
+    fn block_of(&self, stripe: usize, row: usize) -> usize {
+        stripe * self.rows() + row
+    }
+
+    fn slot_of(&self, stripe: usize, col: usize) -> usize {
+        self.rotation.to_physical(stripe, col, self.layout.disks())
+    }
+
+    fn col_of(&self, stripe: usize, slot: usize) -> usize {
+        self.rotation.to_logical(stripe, slot, self.layout.disks())
+    }
+
+    fn locate(&self, element: usize) -> Result<(usize, usize), ArrayError> {
+        let capacity = self.capacity_elements();
+        if element >= capacity {
+            return Err(ArrayError::OutOfRange { element, capacity });
+        }
+        Ok((
+            element / self.layout.data_len(),
+            element % self.layout.data_len(),
+        ))
+    }
+
+    fn too_many(&self) -> ArrayError {
+        ArrayError::TooManyFailures {
+            failed: self.failed_slots(),
+        }
+    }
+
+    /// Whether a single block of `slot` can be read directly.
+    fn block_readable(&self, slot: usize, block: usize) -> bool {
+        match self.state[slot] {
+            SlotState::Healthy => true,
+            SlotState::Failed => false,
+            SlotState::Rebuilding => self
+                .rebuild
+                .as_ref()
+                .is_some_and(|r| r.slot == slot && block < r.next_block),
+        }
+    }
+
+    /// Whether `slot` can serve *every* block of `stripe` directly — the
+    /// column-granular notion erasure planning needs.
+    fn slot_serves_stripe(&self, slot: usize, stripe: usize) -> bool {
+        match self.state[slot] {
+            SlotState::Healthy => true,
+            SlotState::Failed => false,
+            SlotState::Rebuilding => self
+                .rebuild
+                .as_ref()
+                .is_some_and(|r| r.slot == slot && (stripe + 1) * self.rows() <= r.next_block),
+        }
+    }
+
+    fn mark_failed(&mut self, slot: usize, auto: bool) {
+        if self.state[slot] == SlotState::Failed {
+            return;
+        }
+        self.state[slot] = SlotState::Failed;
+        if auto {
+            self.stats.auto_fails += 1;
+        }
+        if self.rebuild.as_ref().is_some_and(|r| r.slot == slot) {
+            self.rebuild = None;
+        }
+        self.try_attach_spare();
+    }
+
+    /// Count a hard error against `slot`; past the threshold the slot
+    /// auto-transitions to `Failed` and a spare is attached if available.
+    fn record_error(&mut self, slot: usize) {
+        if self.state[slot] == SlotState::Failed {
+            return;
+        }
+        self.errors[slot] += 1;
+        if self.errors[slot] >= self.fail_threshold {
+            self.mark_failed(slot, true);
+        }
+    }
+
+    fn note_hard_error(&mut self, slot: usize, e: &DiskError) {
+        if matches!(e, DiskError::Failed { .. }) {
+            self.mark_failed(slot, true);
+        } else {
+            self.record_error(slot);
+        }
+    }
+
+    /// Mark a slot failed by hand (testing, operator action). Attaches a
+    /// spare automatically if one is configured and no rebuild is active.
+    pub fn fail_disk(&mut self, slot: usize) -> Result<(), ArrayError> {
+        assert!(slot < self.layout.disks());
+        if self.state[slot] == SlotState::Failed {
+            return Err(ArrayError::BadDiskState { disk: slot });
+        }
+        self.mark_failed(slot, false);
+        Ok(())
+    }
+
+    /// Attach a spare to the lowest failed slot, if a spare exists and no
+    /// rebuild is in progress. Returns the slot a rebuild started on.
+    /// Called automatically on every failure transition.
+    pub fn try_attach_spare(&mut self) -> Option<usize> {
+        if self.rebuild.is_some() || self.spares.is_empty() {
+            return None;
+        }
+        let slot = (0..self.state.len()).find(|&s| self.state[s] == SlotState::Failed)?;
+        let disk = self.spares.remove(0);
+        self.slot_to_disk[slot] = disk;
+        self.state[slot] = SlotState::Rebuilding;
+        self.errors[slot] = 0;
+        self.rebuild = Some(Rebuild {
+            slot,
+            next_block: 0,
+        });
+        self.stats.spares_attached += 1;
+        Some(slot)
+    }
+
+    /// Raw block read through the retry policy.
+    fn read_raw(&mut self, slot: usize, block: usize) -> Result<Vec<u8>, DiskError> {
+        let disk = self.slot_to_disk[slot];
+        let mut buf = vec![0u8; self.block_size];
+        let mut attempt = 0usize;
+        loop {
+            match self.backend.read_block(disk, block, &mut buf) {
+                Ok(()) => return Ok(buf),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    self.stats.retries += 1;
+                    self.stats.backoff_us += self.policy.backoff_base_us << attempt;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Raw block write through the retry policy.
+    fn write_raw(&mut self, slot: usize, block: usize, data: &[u8]) -> Result<(), DiskError> {
+        let disk = self.slot_to_disk[slot];
+        let mut attempt = 0usize;
+        loop {
+            match self.backend.write_block(disk, block, data) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    self.stats.retries += 1;
+                    self.stats.backoff_us += self.policy.backoff_base_us << attempt;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Read one cell with full checking. `None` means the cell must be
+    /// served through parity (slot down, sector dead, retries exhausted,
+    /// or checksum mismatch); the error bookkeeping has already happened.
+    fn read_cell(&mut self, stripe: usize, cell: Cell) -> Option<Vec<u8>> {
+        let slot = self.slot_of(stripe, cell.col);
+        let block = self.block_of(stripe, cell.row);
+        if !self.block_readable(slot, block) {
+            return None;
+        }
+        match self.read_raw(slot, block) {
+            Ok(buf) => {
+                if crc32(&buf) == self.crc[slot][block] {
+                    Some(buf)
+                } else {
+                    self.stats.checksum_catches += 1;
+                    self.record_error(slot);
+                    None
+                }
+            }
+            Err(e) => {
+                self.note_hard_error(slot, &e);
+                None
+            }
+        }
+    }
+
+    /// Fetch `wanted` cells of one stripe into a scratch stripe, serving
+    /// unreadable cells through parity reconstruction. The scratch holds
+    /// valid bytes for every wanted cell plus whatever survivors the
+    /// recovery read along the way.
+    fn fetch_cells(
+        &mut self,
+        stripe: usize,
+        wanted: &BTreeSet<Cell>,
+        count_degraded: bool,
+    ) -> Result<Stripe, ArrayError> {
+        let mut scratch = Stripe::zeroed(&self.layout, self.block_size);
+        let mut missing: BTreeSet<Cell> = BTreeSet::new();
+        for &cell in wanted {
+            match self.read_cell(stripe, cell) {
+                Some(buf) => scratch.block_mut(cell).copy_from_slice(&buf),
+                None => {
+                    missing.insert(cell);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return Ok(scratch);
+        }
+        if count_degraded {
+            self.stats.degraded_reads += 1;
+        }
+
+        // Column-granular erasure set: every slot that cannot serve this
+        // whole stripe, plus the columns of the cells that just failed.
+        let grid = self.layout.grid();
+        let mut erased_cols: BTreeSet<usize> = (0..self.layout.disks())
+            .filter(|&s| !self.slot_serves_stripe(s, stripe))
+            .map(|s| self.col_of(stripe, s))
+            .collect();
+        for c in &missing {
+            erased_cols.insert(c.col);
+        }
+        let mut loaded: BTreeSet<Cell> = wanted.difference(&missing).copied().collect();
+
+        // Re-plan whenever reading a survivor surfaces a new failure.
+        'replan: loop {
+            let erased: BTreeSet<Cell> = erased_cols
+                .iter()
+                .flat_map(|&col| grid.column(col))
+                .collect();
+            let plan = plan_recovery(&self.layout, &erased).map_err(|_| self.too_many())?;
+            let sub = plan.subplan_for(&missing);
+            for cell in sub.surviving_reads() {
+                if loaded.contains(&cell) {
+                    continue;
+                }
+                match self.read_cell(stripe, cell) {
+                    Some(buf) => {
+                        scratch.block_mut(cell).copy_from_slice(&buf);
+                        loaded.insert(cell);
+                    }
+                    None => {
+                        erased_cols.insert(cell.col);
+                        continue 'replan;
+                    }
+                }
+            }
+            apply_plan(&mut scratch, &sub);
+            break;
+        }
+
+        // Read-repair: a cell that failed on an otherwise healthy slot
+        // (checksum catch, bad sector) is rewritten in place with its
+        // reconstructed content — drives remap on write.
+        let repairable: Vec<Cell> = missing
+            .iter()
+            .copied()
+            .filter(|c| self.state[self.slot_of(stripe, c.col)] == SlotState::Healthy)
+            .collect();
+        for cell in repairable {
+            let slot = self.slot_of(stripe, cell.col);
+            let block = self.block_of(stripe, cell.row);
+            let data = scratch.snapshot(cell);
+            match self.write_raw(slot, block, &data) {
+                Ok(()) => {
+                    self.crc[slot][block] = crc32(&data);
+                    self.stats.read_repairs += 1;
+                }
+                Err(e) => self.note_hard_error(slot, &e),
+            }
+        }
+        Ok(scratch)
+    }
+
+    /// Read `count` logical elements starting at `start`, through retries,
+    /// checksum catches, sector failures, dead disks, and in-progress
+    /// rebuilds.
+    pub fn read(&mut self, start: usize, count: usize) -> Result<Vec<u8>, ArrayError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        self.locate(start)?;
+        self.locate(start + count - 1)?;
+        let mut out = Vec::with_capacity(count * self.block_size);
+        let mut element = start;
+        let mut remaining = count;
+        while remaining > 0 {
+            let (t, within) = self.locate(element).expect("range checked");
+            let room = self.layout.data_len() - within;
+            let chunk = room.min(remaining);
+            let wanted: BTreeSet<Cell> = (within..within + chunk)
+                .map(|i| self.layout.logical_to_cell(i))
+                .collect();
+            let scratch = self.fetch_cells(t, &wanted, true)?;
+            for i in within..within + chunk {
+                out.extend_from_slice(scratch.block(self.layout.logical_to_cell(i)));
+            }
+            self.stats.element_reads += chunk as u64;
+            element += chunk;
+            remaining -= chunk;
+        }
+        Ok(out)
+    }
+
+    /// Write `bytes` (a multiple of the block size) starting at logical
+    /// element `start`. Full-stripe read-modify-write: the stripe's data
+    /// is fetched (through parity if degraded), modified, re-encoded, and
+    /// written back — so writes work while degraded and mid-rebuild.
+    pub fn write(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError> {
+        assert!(
+            bytes.len() % self.block_size == 0,
+            "write length must be a multiple of the block size"
+        );
+        let count = bytes.len() / self.block_size;
+        if count == 0 {
+            return Ok(());
+        }
+        self.locate(start)?;
+        self.locate(start + count - 1)?;
+        let mut offset = 0;
+        let mut element = start;
+        while offset < count {
+            let (t, within) = self.locate(element).expect("range checked");
+            let room = self.layout.data_len() - within;
+            let chunk = room.min(count - offset);
+            self.write_stripe_segment(
+                t,
+                within,
+                chunk,
+                &bytes[offset * self.block_size..(offset + chunk) * self.block_size],
+            )?;
+            offset += chunk;
+            element += chunk;
+        }
+        Ok(())
+    }
+
+    fn write_stripe_segment(
+        &mut self,
+        stripe: usize,
+        within: usize,
+        chunk: usize,
+        bytes: &[u8],
+    ) -> Result<(), ArrayError> {
+        let all_data: BTreeSet<Cell> = self.layout.data_cells().iter().copied().collect();
+        let mut scratch = self.fetch_cells(stripe, &all_data, true)?;
+        for i in 0..chunk {
+            let cell = self.layout.logical_to_cell(within + i);
+            scratch
+                .block_mut(cell)
+                .copy_from_slice(&bytes[i * self.block_size..(i + 1) * self.block_size]);
+        }
+        encode(&self.layout, &mut scratch);
+        // Persist the modified data cells plus every (recomputed) parity.
+        let mut targets: Vec<Cell> = (within..within + chunk)
+            .map(|i| self.layout.logical_to_cell(i))
+            .collect();
+        targets.extend(self.layout.parity_cells());
+        for cell in targets {
+            let data = scratch.snapshot(cell);
+            self.store_cell(stripe, cell, &data);
+        }
+        self.stats.element_writes += chunk as u64;
+        Ok(())
+    }
+
+    /// Write one cell's content where possible and record its expected
+    /// CRC everywhere. A failed slot keeps only the CRC (the content is
+    /// implied by parity and materializes at rebuild); a hard write error
+    /// is recorded but not surfaced — parity still protects the data, and
+    /// the stale on-medium block is caught by checksum at next read.
+    fn store_cell(&mut self, stripe: usize, cell: Cell, data: &[u8]) {
+        let slot = self.slot_of(stripe, cell.col);
+        let block = self.block_of(stripe, cell.row);
+        self.crc[slot][block] = crc32(data);
+        let writable = match self.state[slot] {
+            SlotState::Healthy => true,
+            SlotState::Failed => false,
+            SlotState::Rebuilding => self
+                .rebuild
+                .as_ref()
+                .is_some_and(|r| r.slot == slot && block < r.next_block),
+        };
+        if !writable {
+            return;
+        }
+        if let Err(e) = self.write_raw(slot, block, data) {
+            self.note_hard_error(slot, &e);
+        }
+    }
+
+    /// Advance the active rebuild by up to `max_blocks` reconstructed
+    /// blocks. Returns `true` when no rebuild remains active (completed,
+    /// aborted, or none was running). Interleave with reads/writes: the
+    /// watermark keeps every read correct mid-rebuild.
+    pub fn rebuild_step(&mut self, max_blocks: usize) -> Result<bool, ArrayError> {
+        for _ in 0..max_blocks {
+            let Some(r) = &self.rebuild else {
+                return Ok(true);
+            };
+            let (slot, block) = (r.slot, r.next_block);
+            let stripe = block / self.rows();
+            let row = block % self.rows();
+            let cell = Cell::new(row, self.col_of(stripe, slot));
+            let mut wanted = BTreeSet::new();
+            wanted.insert(cell);
+            let scratch = self.fetch_cells(stripe, &wanted, false)?;
+            let data = scratch.snapshot(cell);
+            match self.write_raw(slot, block, &data) {
+                Ok(()) => {
+                    self.crc[slot][block] = crc32(&data);
+                    self.stats.rebuilt_blocks += 1;
+                    let total = self.total_blocks();
+                    if let Some(r) = &mut self.rebuild {
+                        r.next_block += 1;
+                        if r.next_block >= total {
+                            let done = self.rebuild.take().expect("just checked");
+                            self.state[done.slot] = SlotState::Healthy;
+                            self.errors[done.slot] = 0;
+                            self.stats.rebuilds_completed += 1;
+                            // Another slot may have failed while this
+                            // rebuild ran; chain onto the next spare.
+                            self.try_attach_spare();
+                            return Ok(self.rebuild.is_none());
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The spare itself is misbehaving. A hard failure
+                    // aborts this rebuild (and may chain onto the next
+                    // spare); a transient exhaustion retries the same
+                    // block on the next call.
+                    self.note_hard_error(slot, &e);
+                    if self.state[slot] == SlotState::Failed || self.rebuild.is_none() {
+                        return Ok(self.rebuild.is_none());
+                    }
+                }
+            }
+        }
+        Ok(self.rebuild.is_none())
+    }
+}
+
+impl<B: DiskBackend> ElementIo for ResilientArray<B> {
+    fn capacity_elements(&self) -> usize {
+        ResilientArray::capacity_elements(self)
+    }
+
+    fn element_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_elements(&mut self, start: usize, count: usize) -> Result<Vec<u8>, ArrayError> {
+        self.read(start, count)
+    }
+
+    fn write_elements(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError> {
+        self.write(start, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_core::dcode::dcode;
+    use dcode_faults::{FaultInjector, FaultPlan, MemBackend};
+
+    fn mem_array(p: usize, stripes: usize, spares: usize) -> ResilientArray<MemBackend> {
+        let layout = dcode(p).unwrap();
+        let backend = MemBackend::new(layout.disks() + spares, stripes * layout.rows(), 16);
+        ResilientArray::format(
+            layout,
+            16,
+            stripes,
+            RotationScheme::PerStripe,
+            backend,
+            RetryPolicy::default(),
+            4,
+        )
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_and_unaligned_reads() {
+        let mut a = mem_array(5, 4, 0);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        let mid = a.read(11, 9).unwrap();
+        assert_eq!(mid, &data[11 * 16..20 * 16]);
+    }
+
+    #[test]
+    fn checksum_catch_converts_rot_into_degraded_read_and_repairs() {
+        let mut a = mem_array(5, 3, 0);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        // Rot a byte on the medium beneath the checksums.
+        let disk = a.slot_disk(1);
+        a.backend_mut().disk_bytes_mut(disk)[5] ^= 0x40;
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        assert_eq!(a.stats().checksum_catches, 1);
+        assert_eq!(a.stats().degraded_reads, 1);
+        assert_eq!(a.stats().read_repairs, 1);
+        // The repair rewrote the block: a second pass is clean.
+        let catches = a.stats().checksum_catches;
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        assert_eq!(a.stats().checksum_catches, catches);
+    }
+
+    #[test]
+    fn retries_exhaust_then_degrade() {
+        let layout = dcode(5).unwrap();
+        let mut plan = FaultPlan::quiet(11);
+        plan.p_transient_read = 1.0; // every read fails, forever
+        let backend =
+            FaultInjector::new(MemBackend::new(layout.disks(), 2 * layout.rows(), 16), plan);
+        let mut a = ResilientArray::format(
+            layout,
+            16,
+            2,
+            RotationScheme::None,
+            backend,
+            RetryPolicy {
+                max_retries: 2,
+                backoff_base_us: 100,
+            },
+            1000, // never auto-fail in this test
+        );
+        // With every disk refusing reads, recovery is impossible.
+        assert!(a.read(0, 1).is_err());
+        assert!(a.stats().retries >= 2);
+        assert!(a.stats().backoff_us >= 300); // 100 + 200
+    }
+
+    #[test]
+    fn threshold_auto_fails_and_attaches_spare() {
+        let mut a = mem_array(5, 3, 1);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        // Corrupt many blocks of slot 2's disk: each read is a checksum
+        // catch; past the threshold (4) the slot fails and the spare
+        // attaches.
+        let disk = a.slot_disk(2);
+        let rows = a.layout().rows();
+        for b in 0..3 * rows {
+            a.backend_mut().disk_bytes_mut(disk)[b * 16] ^= 0xFF;
+        }
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        assert_eq!(a.stats().auto_fails, 1);
+        assert_eq!(a.stats().spares_attached, 1);
+        assert_eq!(a.slot_states()[2], SlotState::Rebuilding);
+        assert_eq!(a.slot_disk(2), 5); // remapped to the spare
+                                       // Drive the rebuild home; everything is healthy and correct.
+        while !a.rebuild_step(8).unwrap() {}
+        assert_eq!(a.slot_states()[2], SlotState::Healthy);
+        assert_eq!(a.stats().rebuilds_completed, 1);
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+    }
+
+    #[test]
+    fn reads_and_writes_served_mid_rebuild() {
+        let mut a = mem_array(7, 6, 1);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        a.fail_disk(3).unwrap();
+        assert_eq!(a.slot_states()[3], SlotState::Rebuilding);
+        // Step the rebuild partway: the watermark sits inside the array.
+        a.rebuild_step(a.layout().rows() * 2).unwrap();
+        let (_, done, total) = a.rebuild_progress().unwrap();
+        assert!(done > 0 && done < total);
+        // Reads are correct both below and above the watermark.
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        // A write mid-rebuild lands correctly too.
+        let patch = vec![0xABu8; 3 * 16];
+        a.write(10, &patch).unwrap();
+        while !a.rebuild_step(16).unwrap() {}
+        let mut expect = data;
+        expect[10 * 16..13 * 16].copy_from_slice(&patch);
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), expect);
+    }
+
+    #[test]
+    fn degraded_writes_survive_double_failure() {
+        let mut a = mem_array(7, 4, 0);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        a.fail_disk(1).unwrap();
+        a.fail_disk(4).unwrap();
+        let patch = vec![0x5Au8; 5 * 16];
+        a.write(7, &patch).unwrap();
+        let mut expect = data;
+        expect[7 * 16..12 * 16].copy_from_slice(&patch);
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), expect);
+        // A third failure is beyond RAID-6.
+        a.fail_disk(0).unwrap();
+        assert!(matches!(
+            a.read(0, 1),
+            Err(ArrayError::TooManyFailures { .. })
+        ));
+    }
+
+    #[test]
+    fn sector_failure_degrades_only_that_element() {
+        let layout = dcode(5).unwrap();
+        let plan = FaultPlan::quiet(3);
+        let backend =
+            FaultInjector::new(MemBackend::new(layout.disks(), 3 * layout.rows(), 16), plan);
+        let mut a = ResilientArray::format(
+            layout,
+            16,
+            3,
+            RotationScheme::None,
+            backend,
+            RetryPolicy::default(),
+            100, // high threshold: the slot must NOT fail
+        );
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        // Kill one sector on disk 0.
+        a.backend_mut().mint_bad_sector(0, 0);
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        assert_eq!(a.stats().degraded_reads, 1);
+        assert_eq!(a.slot_states()[0], SlotState::Healthy);
+        // Read-repair rewrote the sector (remap-on-write): clean now.
+        let degraded = a.stats().degraded_reads;
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        assert_eq!(a.stats().degraded_reads, degraded);
+    }
+}

@@ -118,6 +118,15 @@ pub fn scrub_stripe(layout: &CodeLayout, stripe: &mut Stripe) -> ScrubReport {
     }
 }
 
+/// Scrub one stripe without modifying it: report what [`scrub_stripe`]
+/// *would* do. Backs the CLI's `scrub --repair=off` dry-run mode — the
+/// operator sees the diagnosis (clean / localized / ambiguous) before
+/// authorizing writes.
+pub fn scrub_stripe_dry(layout: &CodeLayout, stripe: &Stripe) -> ScrubReport {
+    let mut copy = stripe.clone();
+    scrub_stripe(layout, &mut copy)
+}
+
 /// Attempt a unique two-element localization and repair. The pair is
 /// repaired by treating both cells as erased and running the recovery
 /// planner — valid whenever the two cells sit in different columns (a
@@ -274,6 +283,20 @@ mod tests {
             }
         }
         assert!(repaired > 0, "pair repair never engaged");
+    }
+
+    #[test]
+    fn dry_run_diagnoses_without_modifying() {
+        let (layout, golden) = encoded_stripe();
+        let mut s = golden.clone();
+        let cell = Cell::new(1, 1);
+        s.block_mut(cell)[0] ^= 4;
+        let before = s.clone();
+        match scrub_stripe_dry(&layout, &s) {
+            ScrubReport::Repaired { cell: found } => assert_eq!(found, cell),
+            other => panic!("expected a repair diagnosis, got {other:?}"),
+        }
+        assert_eq!(s, before, "dry run must not modify the stripe");
     }
 
     #[test]

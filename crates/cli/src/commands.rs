@@ -2,9 +2,10 @@
 //! testable. Each takes the array directory and returns a human-readable
 //! summary on success.
 
-use crate::diskio::{disk_path, layout_of, read_disks, write_disks, write_one_disk};
+use crate::diskio::{disk_path, layout_of, probe_disks, read_disks, write_disks, write_one_disk};
 use crate::meta::ArrayMeta;
-use dcode_array::scrub::{scrub_stripe, ScrubReport};
+use dcode_array::chaos::{soak, ChaosConfig};
+use dcode_array::scrub::{scrub_stripe, scrub_stripe_dry, ScrubReport};
 use dcode_baselines::registry::CodeId;
 use dcode_codec::{apply_plan, encode, verify_parities, Stripe};
 use dcode_core::decoder::plan_column_recovery;
@@ -22,6 +23,27 @@ pub enum CliError {
     State(String),
     /// Bad user input.
     Usage(String),
+    /// Scrub found corruption it cannot localize to one cell or one
+    /// unique pair — operator intervention needed (restore from fetch +
+    /// store).
+    Ambiguous(String),
+    /// A dry-run scrub found corruption it was not allowed to repair.
+    Corrupt(String),
+}
+
+impl CliError {
+    /// Process exit code: scripts can branch on *why* the CLI failed.
+    /// 1 = I/O or metadata, 2 = usage, 3 = array state, 4 = ambiguous
+    /// corruption, 5 = corruption found in dry-run mode.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Io(_) | CliError::Meta(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::State(_) => 3,
+            CliError::Ambiguous(_) => 4,
+            CliError::Corrupt(_) => 5,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -29,7 +51,12 @@ impl fmt::Display for CliError {
         match self {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Meta(e) => write!(f, "{e}"),
-            CliError::State(s) | CliError::Usage(s) => f.write_str(s),
+            CliError::State(s) | CliError::Usage(s) | CliError::Corrupt(s) => f.write_str(s),
+            CliError::Ambiguous(s) => write!(
+                f,
+                "{s}
+the syndrome does not localize the corruption; nothing was modified —                  restore the payload with `fetch` and re-`store` it"
+            ),
         }
     }
 }
@@ -162,6 +189,7 @@ pub fn fetch(dir: &Path, output: &Path) -> Result<String, CliError> {
 pub fn status(dir: &Path) -> Result<String, CliError> {
     let meta = ArrayMeta::load(dir)?;
     let layout = layout_of(&meta);
+    let probes = probe_disks(dir, &meta, &layout);
     let (stripes, alive) = read_disks(dir, &meta, &layout)?;
     let dead: Vec<usize> = alive
         .iter()
@@ -201,6 +229,9 @@ pub fn status(dir: &Path) -> Result<String, CliError> {
                 "DATA LOSS"
             }
         ));
+    }
+    for (d, probe) in probes.iter().enumerate() {
+        out.push_str(&format!("  disk {d}: {probe}\n"));
     }
     Ok(out)
 }
@@ -313,8 +344,12 @@ pub fn verify(code: Option<CodeId>, p: Option<usize>, all: bool) -> Result<Strin
 }
 
 /// `scrub`: verify every stripe's parities, localizing and repairing
-/// single-element silent corruption.
-pub fn scrub(dir: &Path) -> Result<String, CliError> {
+/// single- and pair-element silent corruption. With `repair` off nothing
+/// is written — the diagnosis reports what a repairing scrub *would* do,
+/// and finding corruption is itself an error (exit code 5) so scripted
+/// health checks can branch on it. Unlocalizable corruption is an
+/// [`CliError::Ambiguous`] error (exit code 4) in both modes.
+pub fn scrub(dir: &Path, repair: bool) -> Result<String, CliError> {
     let meta = ArrayMeta::load(dir)?;
     let layout = layout_of(&meta);
     let (mut stripes, alive) = read_disks(dir, &meta, &layout)?;
@@ -327,7 +362,12 @@ pub fn scrub(dir: &Path) -> Result<String, CliError> {
     let mut repaired = Vec::new();
     let mut ambiguous = Vec::new();
     for (idx, s) in stripes.iter_mut().enumerate() {
-        match scrub_stripe(&layout, s) {
+        let report = if repair {
+            scrub_stripe(&layout, s)
+        } else {
+            scrub_stripe_dry(&layout, s)
+        };
+        match report {
             ScrubReport::Clean => clean += 1,
             ScrubReport::Repaired { cell } => repaired.push((idx, cell)),
             ScrubReport::RepairedPair { cells } => {
@@ -337,18 +377,68 @@ pub fn scrub(dir: &Path) -> Result<String, CliError> {
             ScrubReport::Ambiguous { .. } => ambiguous.push(idx),
         }
     }
-    if !repaired.is_empty() {
+    if repair && !repaired.is_empty() {
         write_disks(dir, &meta, &layout, &stripes)?;
     }
     let mut out = format!("{clean}/{} stripes clean", meta.stripes);
     if !repaired.is_empty() {
-        out.push_str(&format!("; repaired {repaired:?}"));
+        out.push_str(&if repair {
+            format!("; repaired {repaired:?}")
+        } else {
+            format!("; would repair {repaired:?} (dry run, nothing written)")
+        });
     }
     if !ambiguous.is_empty() {
-        out.push_str(&format!(
-            "; stripes {ambiguous:?} have multi-element corruption (unrepairable in place — restore from fetch + store)"
+        return Err(CliError::Ambiguous(format!(
+            "{out}; stripes {ambiguous:?} have multi-element corruption"
+        )));
+    }
+    if !repair && !repaired.is_empty() {
+        return Err(CliError::Corrupt(format!(
+            "{out} — re-run with --repair on to fix"
+        )));
+    }
+    Ok(out)
+}
+
+/// Codes the `chaos` command soaks when none is named: the paper's code
+/// plus the two classic horizontal baselines.
+const CHAOS_CODES: [(CodeId, usize); 3] =
+    [(CodeId::DCode, 7), (CodeId::Rdp, 7), (CodeId::EvenOdd, 7)];
+
+/// `chaos`: replay a seeded randomized op/fault schedule against an
+/// in-memory array mirrored by an oracle, asserting zero data loss within
+/// RAID-6 tolerance. Every run exercises retries, checksum catches,
+/// degraded reads, an auto-failed slot, hot-spare attach, and a completed
+/// rebuild; the counters are printed per code.
+pub fn chaos(seed: u64, ops: usize, target: Option<(CodeId, usize)>) -> Result<String, CliError> {
+    if ops < 100 {
+        return Err(CliError::Usage(
+            "chaos needs --ops >= 100 to fit the scheduled fault events".into(),
         ));
     }
+    let targets: Vec<(CodeId, usize)> = match target {
+        Some(t) => vec![t],
+        None => CHAOS_CODES.to_vec(),
+    };
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for (id, p) in targets {
+        let layout = dcode_baselines::registry::build(id, p)
+            .map_err(|e| CliError::Usage(format!("cannot build {} at p={p}: {e}", id.name())))?;
+        let report = soak(layout, &ChaosConfig::new(seed, ops));
+        if !report.passed() {
+            failed += 1;
+        }
+        out.push_str(&report.to_string());
+        out.push('\n');
+    }
+    if failed > 0 {
+        return Err(CliError::State(format!(
+            "{out}chaos soak FAILED for {failed} code(s)"
+        )));
+    }
+    out.push_str("chaos soak passed: zero data loss, all headline fault paths exercised");
     Ok(out)
 }
 
@@ -419,13 +509,13 @@ mod tests {
         bytes[700] ^= 0x55;
         std::fs::write(&dpath, &bytes).unwrap();
 
-        let report = scrub(&dir).unwrap();
+        let report = scrub(&dir, true).unwrap();
         assert!(report.contains("repaired"), "{report}");
         let out = root.join("out.bin");
         fetch(&dir, &out).unwrap();
         assert_eq!(std::fs::read(&out).unwrap(), payload);
         // Second scrub: everything clean.
-        assert!(!scrub(&dir).unwrap().contains("repaired"));
+        assert!(!scrub(&dir, true).unwrap().contains("repaired"));
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -482,10 +572,89 @@ mod tests {
         let dir = root.join("array");
         store(&input, &dir, CodeId::DCode, 5, 256).unwrap();
         kill(&dir, 0).unwrap();
-        assert!(matches!(scrub(&dir), Err(CliError::State(_))));
+        assert!(matches!(scrub(&dir, true), Err(CliError::State(_))));
         rebuild(&dir).unwrap();
-        assert!(scrub(&dir).unwrap().contains("clean"));
+        assert!(scrub(&dir, true).unwrap().contains("clean"));
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn status_diagnoses_truncated_and_missing_disks() {
+        let (root, input, _) = setup("probe");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 512).unwrap();
+        // Truncate one disk mid-file, delete another.
+        let d1 = crate::diskio::disk_path(&dir, 1);
+        let bytes = std::fs::read(&d1).unwrap();
+        std::fs::write(&d1, &bytes[..bytes.len() / 2]).unwrap();
+        std::fs::remove_file(crate::diskio::disk_path(&dir, 3)).unwrap();
+
+        let out = status(&dir).unwrap();
+        assert!(out.contains("DEAD: [1, 3]"), "{out}");
+        assert!(out.contains("disk 1: TRUNCATED"), "{out}");
+        assert!(out.contains("disk 3: missing"), "{out}");
+        assert!(out.contains("disk 0: ok"), "{out}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scrub_dry_run_reports_without_writing() {
+        let (root, input, _) = setup("scrubdry");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 512).unwrap();
+        let dpath = crate::diskio::disk_path(&dir, 2);
+        let mut bytes = std::fs::read(&dpath).unwrap();
+        bytes[700] ^= 0x55;
+        std::fs::write(&dpath, &bytes).unwrap();
+
+        // Dry run: corruption found is exit code 5, and nothing changes.
+        let err = scrub(&dir, false).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("would repair"), "{err}");
+        assert_eq!(std::fs::read(&dpath).unwrap(), bytes, "dry run wrote!");
+
+        // Repairing run fixes it; a second dry run is clean (exit 0).
+        scrub(&dir, true).unwrap();
+        assert!(scrub(&dir, false).unwrap().contains("clean"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scrub_ambiguous_corruption_is_a_distinct_error() {
+        let (root, input, _) = setup("scrubamb");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 512).unwrap();
+        // Corrupt three cells of stripe 0 in distinct columns — beyond
+        // pair localization.
+        for d in [0, 2, 4] {
+            let dpath = crate::diskio::disk_path(&dir, d);
+            let mut bytes = std::fs::read(&dpath).unwrap();
+            bytes[10 + d] ^= 0xFF;
+            std::fs::write(&dpath, &bytes).unwrap();
+        }
+        let err = scrub(&dir, true).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("multi-element"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_failure_class() {
+        assert_eq!(CliError::Io(std::io::Error::other("x")).exit_code(), 1);
+        assert_eq!(CliError::Usage("u".into()).exit_code(), 2);
+        assert_eq!(CliError::State("s".into()).exit_code(), 3);
+        assert_eq!(CliError::Ambiguous("a".into()).exit_code(), 4);
+        assert_eq!(CliError::Corrupt("c".into()).exit_code(), 5);
+    }
+
+    #[test]
+    fn chaos_smoke_single_code() {
+        let out = chaos(1, 400, Some((CodeId::DCode, 5))).unwrap();
+        assert!(out.contains("chaos soak passed"), "{out}");
+        assert!(out.contains("checksum catches"), "{out}");
+        assert!(out.contains("rebuilds completed"), "{out}");
+        // Too few ops to fit the schedule is a usage error.
+        assert!(matches!(chaos(1, 50, None), Err(CliError::Usage(_))));
     }
 
     #[test]

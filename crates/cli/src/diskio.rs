@@ -1,11 +1,17 @@
 //! Disk-file I/O: each simulated disk is one file `disk_<i>.bin` holding
 //! that column's blocks for every stripe, in stripe order.
+//!
+//! Writes stream stripe-by-stripe through a [`FileBackend`] — the process
+//! never materializes a whole disk image, so storing a large payload
+//! needs one stripe of memory, not one disk of memory.
 
 use crate::meta::ArrayMeta;
 use dcode_baselines::registry::build;
 use dcode_codec::Stripe;
 use dcode_core::grid::Cell;
 use dcode_core::layout::CodeLayout;
+use dcode_faults::{DiskBackend, FileBackend};
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -24,48 +30,130 @@ pub fn disk_file_len(meta: &ArrayMeta, layout: &CodeLayout) -> usize {
     meta.stripes * layout.rows() * meta.block
 }
 
-/// Which disks are currently readable (file exists with the right length).
-pub fn scan_disks(dir: &Path, meta: &ArrayMeta, layout: &CodeLayout) -> Vec<bool> {
-    let want = disk_file_len(meta, layout) as u64;
+/// What a per-disk health probe found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskProbe {
+    /// File exists with exactly the expected length.
+    Present,
+    /// File does not exist (killed or never written).
+    Missing,
+    /// File exists but is shorter than expected — a torn or interrupted
+    /// write, or an aborted rebuild.
+    Truncated {
+        /// Bytes on disk.
+        actual: u64,
+        /// Bytes expected.
+        expected: u64,
+    },
+    /// File exists but is longer than expected — metadata mismatch or a
+    /// foreign file squatting on the disk's name.
+    Oversized {
+        /// Bytes on disk.
+        actual: u64,
+        /// Bytes expected.
+        expected: u64,
+    },
+}
+
+impl DiskProbe {
+    /// Whether the disk is usable as-is.
+    pub fn is_present(self) -> bool {
+        self == DiskProbe::Present
+    }
+}
+
+impl fmt::Display for DiskProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DiskProbe::Present => f.write_str("ok"),
+            DiskProbe::Missing => f.write_str("missing"),
+            DiskProbe::Truncated { actual, expected } => {
+                write!(f, "TRUNCATED ({actual} of {expected} bytes)")
+            }
+            DiskProbe::Oversized { actual, expected } => {
+                write!(f, "SIZE MISMATCH ({actual} bytes, expected {expected})")
+            }
+        }
+    }
+}
+
+/// Probe every disk file: missing / truncated / oversized / ok, so status
+/// output can say *why* a disk is unusable instead of silently treating a
+/// half-written file as absent.
+pub fn probe_disks(dir: &Path, meta: &ArrayMeta, layout: &CodeLayout) -> Vec<DiskProbe> {
+    let expected = disk_file_len(meta, layout) as u64;
     (0..layout.disks())
-        .map(|d| std::fs::metadata(disk_path(dir, d)).is_ok_and(|m| m.len() == want))
+        .map(|d| match std::fs::metadata(disk_path(dir, d)) {
+            Err(_) => DiskProbe::Missing,
+            Ok(m) => {
+                let actual = m.len();
+                if actual == expected {
+                    DiskProbe::Present
+                } else if actual < expected {
+                    DiskProbe::Truncated { actual, expected }
+                } else {
+                    DiskProbe::Oversized { actual, expected }
+                }
+            }
+        })
         .collect()
 }
 
-/// Write all stripes out as per-disk files.
+/// Which disks are currently readable (file exists with the right length).
+pub fn scan_disks(dir: &Path, meta: &ArrayMeta, layout: &CodeLayout) -> Vec<bool> {
+    probe_disks(dir, meta, layout)
+        .into_iter()
+        .map(DiskProbe::is_present)
+        .collect()
+}
+
+fn disk_err(e: dcode_faults::DiskError) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+/// Write all stripes out as per-disk files, streaming block-by-block
+/// through a [`FileBackend`] — no whole-disk image is ever buffered.
 pub fn write_disks(
     dir: &Path,
     meta: &ArrayMeta,
     layout: &CodeLayout,
     stripes: &[Stripe],
 ) -> io::Result<()> {
-    for d in 0..layout.disks() {
-        let mut buf = Vec::with_capacity(disk_file_len(meta, layout));
-        for stripe in stripes {
-            for r in 0..layout.rows() {
-                buf.extend_from_slice(stripe.block(Cell::new(r, d)));
+    let rows = layout.rows();
+    let mut backend = FileBackend::create(dir, layout.disks(), meta.stripes * rows, meta.block)?;
+    for (t, stripe) in stripes.iter().enumerate() {
+        for d in 0..layout.disks() {
+            for r in 0..rows {
+                backend
+                    .write_block(d, t * rows + r, stripe.block(Cell::new(r, d)))
+                    .map_err(disk_err)?;
             }
         }
-        std::fs::write(disk_path(dir, d), &buf)?;
+    }
+    for d in 0..layout.disks() {
+        backend.flush(d).map_err(disk_err)?;
     }
     Ok(())
 }
 
-/// Write a single disk's file from in-memory stripes (after a rebuild).
+/// Write a single disk's file from in-memory stripes (after a rebuild),
+/// streaming one block at a time.
 pub fn write_one_disk(
     dir: &Path,
-    meta: &ArrayMeta,
+    _meta: &ArrayMeta,
     layout: &CodeLayout,
     stripes: &[Stripe],
     disk: usize,
 ) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(disk_file_len(meta, layout));
+    use std::io::Write;
+    let f = std::fs::File::create(disk_path(dir, disk))?;
+    let mut w = std::io::BufWriter::new(f);
     for stripe in stripes {
         for r in 0..layout.rows() {
-            buf.extend_from_slice(stripe.block(Cell::new(r, disk)));
+            w.write_all(stripe.block(Cell::new(r, disk)))?;
         }
     }
-    std::fs::write(disk_path(dir, disk), &buf)
+    w.into_inner()?.sync_data()
 }
 
 /// Read the surviving disks into stripes; missing disks' cells are zeroed

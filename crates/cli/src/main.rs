@@ -1,6 +1,6 @@
 //! `dcode` — stripe files across directory-backed "disks" with any RAID-6
-//! code in the workspace, kill disks, fetch through failures, rebuild, and
-//! scrub silent corruption.
+//! code in the workspace, kill disks, fetch through failures, rebuild,
+//! scrub silent corruption, and chaos-soak the resilience machinery.
 //!
 //! ```text
 //! dcode store <file> <array-dir> [--code dcode] [--p 7] [--block 4096]
@@ -8,8 +8,13 @@
 //! dcode status <array-dir>
 //! dcode kill <array-dir> <disk>
 //! dcode rebuild <array-dir>
-//! dcode scrub <array-dir>
+//! dcode scrub <array-dir> [--repair on|off]
+//! dcode chaos --seed N --ops M [--code NAME --p N]
 //! ```
+//!
+//! Exit codes: 0 success, 1 I/O or metadata, 2 usage, 3 array state,
+//! 4 ambiguous (unlocalizable) corruption, 5 corruption found by a
+//! dry-run scrub.
 
 mod commands;
 mod diskio;
@@ -27,13 +32,17 @@ USAGE:
   dcode status <array-dir>
   dcode kill <array-dir> <disk-index>
   dcode rebuild <array-dir>
-  dcode scrub <array-dir>
+  dcode scrub <array-dir> [--repair on|off]   # off = dry run, exit 5 if corrupt
+  dcode chaos [--seed N] [--ops M] [--code NAME --p N]
+                                       # seeded fault-injection soak (exit 3 on loss)
   dcode layout <code-name> [--p N]     # print a code's layout and spec
   dcode verify [--code NAME] [--p N]   # statically verify compiled schedules
   dcode verify --all                   # …for every code at p in {5,7,11,13,17}
 
 CODES: dcode (default), xcode, rdp, hcode, hdp, evenodd, pcode
-DEFAULTS: --p 7, --block 4096";
+DEFAULTS: --p 7, --block 4096, --repair on, --seed 1, --ops 5000
+EXIT CODES: 0 ok · 1 I/O-or-metadata · 2 usage · 3 array state ·
+            4 ambiguous corruption · 5 dry-run found corruption";
 
 fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,7 +120,36 @@ fn run() -> Result<String, CliError> {
             let [dir] = positional.as_slice() else {
                 return Err(usage("scrub needs <array-dir>"));
             };
-            commands::scrub(&PathBuf::from(dir))
+            let repair = match flag("repair").unwrap_or("on") {
+                "on" => true,
+                "off" => false,
+                other => return Err(usage(&format!("--repair must be on|off, got '{other}'"))),
+            };
+            commands::scrub(&PathBuf::from(dir), repair)
+        }
+        "chaos" => {
+            if !positional.is_empty() {
+                return Err(usage("chaos takes only --seed/--ops/--code/--p flags"));
+            }
+            let seed: u64 = flag("seed")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| usage("--seed must be a number"))?;
+            let ops: usize = flag("ops")
+                .unwrap_or("5000")
+                .parse()
+                .map_err(|_| usage("--ops must be a number"))?;
+            let target = flag("code")
+                .map(|name| {
+                    let code = meta::parse_code(name).map_err(|e| usage(&e))?;
+                    let p: usize = flag("p")
+                        .unwrap_or("7")
+                        .parse()
+                        .map_err(|_| usage("--p must be a prime number"))?;
+                    Ok::<_, CliError>((code, p))
+                })
+                .transpose()?;
+            commands::chaos(seed, ops, target)
         }
         "layout" => {
             let [code_name] = positional.as_slice() else {
@@ -151,7 +189,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

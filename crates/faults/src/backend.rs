@@ -1,0 +1,201 @@
+//! The block-device abstraction: [`DiskBackend`] with typed [`DiskError`]s,
+//! and the in-memory reference implementation [`MemBackend`].
+//!
+//! A backend models an array of `disks` identical devices, each holding
+//! `blocks` fixed-size blocks. All addressing is `(disk, block)`; the array
+//! layer above decides what a block means (one element of one stripe).
+
+use std::fmt;
+
+/// A typed disk I/O failure.
+///
+/// The split matters to the retry policy one layer up: [`Transient`]
+/// failures are worth retrying, [`BadSector`] and [`Failed`] are not —
+/// they must be converted into erasures and served through parity.
+///
+/// [`Transient`]: DiskError::Transient
+/// [`BadSector`]: DiskError::BadSector
+/// [`Failed`]: DiskError::Failed
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DiskError {
+    /// A retryable hiccup (bus reset, command timeout). The operation may
+    /// succeed if reissued; a torn write surfaces as this, with the medium
+    /// left holding a mix of old and new bytes.
+    Transient,
+    /// The addressed sector is permanently unreadable. Writes may succeed
+    /// (drives remap on write); reads will keep failing.
+    BadSector {
+        /// Failing disk.
+        disk: usize,
+        /// Failing block index.
+        block: usize,
+    },
+    /// The whole device is gone; every operation fails.
+    Failed {
+        /// The dead disk.
+        disk: usize,
+    },
+    /// The address lies outside the device geometry.
+    OutOfRange {
+        /// Requested disk.
+        disk: usize,
+        /// Requested block.
+        block: usize,
+    },
+    /// An unclassified I/O error from a real backing store (file backend).
+    Io(String),
+}
+
+impl DiskError {
+    /// Whether a retry of the same operation can plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DiskError::Transient)
+    }
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Transient => write!(f, "transient I/O error"),
+            DiskError::BadSector { disk, block } => {
+                write!(f, "bad sector: disk {disk} block {block}")
+            }
+            DiskError::Failed { disk } => write!(f, "disk {disk} has failed"),
+            DiskError::OutOfRange { disk, block } => {
+                write!(f, "address out of range: disk {disk} block {block}")
+            }
+            DiskError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A fixed-geometry array of block devices.
+///
+/// Methods take `&mut self` even for reads: real backends keep seek
+/// positions and error state, and the fault injector advances its
+/// deterministic schedule on every access.
+pub trait DiskBackend {
+    /// Number of devices.
+    fn disks(&self) -> usize;
+    /// Blocks per device.
+    fn blocks(&self) -> usize;
+    /// Bytes per block.
+    fn block_size(&self) -> usize;
+    /// Read one block into `buf` (`buf.len() == block_size`).
+    fn read_block(&mut self, disk: usize, block: usize, buf: &mut [u8]) -> Result<(), DiskError>;
+    /// Write one block from `data` (`data.len() == block_size`).
+    fn write_block(&mut self, disk: usize, block: usize, data: &[u8]) -> Result<(), DiskError>;
+    /// Flush one device's outstanding writes to stable storage.
+    fn flush(&mut self, disk: usize) -> Result<(), DiskError>;
+
+    /// Bounds-check an address against the geometry.
+    fn check_addr(&self, disk: usize, block: usize) -> Result<(), DiskError> {
+        if disk >= self.disks() || block >= self.blocks() {
+            return Err(DiskError::OutOfRange { disk, block });
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory backend: one `Vec<u8>` per disk. The reference
+/// implementation for tests, the chaos oracle, and the soak harness.
+pub struct MemBackend {
+    block_size: usize,
+    blocks: usize,
+    disks: Vec<Vec<u8>>,
+}
+
+impl MemBackend {
+    /// A zero-filled array of `disks` devices of `blocks` blocks each.
+    pub fn new(disks: usize, blocks: usize, block_size: usize) -> Self {
+        assert!(disks > 0 && blocks > 0 && block_size > 0);
+        MemBackend {
+            block_size,
+            blocks,
+            disks: (0..disks).map(|_| vec![0u8; blocks * block_size]).collect(),
+        }
+    }
+
+    /// Raw bytes of one disk (testing: inspect or corrupt the medium
+    /// directly, bypassing every checksum).
+    pub fn disk_bytes_mut(&mut self, disk: usize) -> &mut [u8] {
+        &mut self.disks[disk]
+    }
+}
+
+impl DiskBackend for MemBackend {
+    fn disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_block(&mut self, disk: usize, block: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.check_addr(disk, block)?;
+        assert_eq!(buf.len(), self.block_size);
+        let off = block * self.block_size;
+        buf.copy_from_slice(&self.disks[disk][off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, disk: usize, block: usize, data: &[u8]) -> Result<(), DiskError> {
+        self.check_addr(disk, block)?;
+        assert_eq!(data.len(), self.block_size);
+        let off = block * self.block_size;
+        self.disks[disk][off..off + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn flush(&mut self, _disk: usize) -> Result<(), DiskError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_roundtrips() {
+        let mut b = MemBackend::new(3, 4, 16);
+        let data: Vec<u8> = (0..16).collect();
+        b.write_block(1, 2, &data).unwrap();
+        let mut buf = vec![0u8; 16];
+        b.read_block(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Other blocks untouched.
+        b.read_block(1, 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+        b.flush(1).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = MemBackend::new(2, 2, 8);
+        let mut buf = vec![0u8; 8];
+        assert!(matches!(
+            b.read_block(2, 0, &mut buf),
+            Err(DiskError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.write_block(0, 2, &buf),
+            Err(DiskError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(DiskError::Transient.is_retryable());
+        assert!(!DiskError::BadSector { disk: 0, block: 0 }.is_retryable());
+        assert!(!DiskError::Failed { disk: 0 }.is_retryable());
+        assert!(!DiskError::Io("x".into()).is_retryable());
+    }
+}

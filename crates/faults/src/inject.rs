@@ -1,0 +1,448 @@
+//! Deterministic fault injection over any [`DiskBackend`].
+//!
+//! A [`FaultInjector`] wraps a backend and perturbs its behaviour under a
+//! seeded [`FaultPlan`]: every fault the storage literature blames for
+//! real data loss, reproducible from a single `u64`. Probabilistic faults
+//! (transient errors, torn writes, in-flight bit flips, latency spikes)
+//! are rolled per operation from a deterministic RNG; *scheduled* faults
+//! (a disk dying at op 1000, a sector rotting at op 200) fire at exact
+//! operation counts, so a chaos scenario can guarantee the interesting
+//! transitions happen inside a bounded run.
+//!
+//! Latency is *accounted*, never slept: the injector charges virtual
+//! microseconds per operation so soak runs report tail behaviour without
+//! taking wall-clock time.
+
+use crate::backend::{DiskBackend, DiskError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One deterministic fault, applied when the operation counter reaches
+/// [`ScheduledFault::at_op`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The whole device dies; every subsequent operation returns
+    /// [`DiskError::Failed`].
+    DiskFail(usize),
+    /// The sector becomes permanently unreadable (until rewritten — the
+    /// injector models remap-on-write).
+    BadSector {
+        /// Target disk.
+        disk: usize,
+        /// Target block.
+        block: usize,
+    },
+    /// One bit of the stored block flips silently at rest. The next read
+    /// succeeds and returns the rotten bytes — only a checksum can tell.
+    SilentCorrupt {
+        /// Target disk.
+        disk: usize,
+        /// Target block.
+        block: usize,
+    },
+}
+
+/// A [`FaultKind`] pinned to an operation count.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScheduledFault {
+    /// Operation count at which the fault fires (first op is 1).
+    pub at_op: u64,
+    /// What happens.
+    pub fault: FaultKind,
+}
+
+/// The complete description of a fault workload. All probabilities are
+/// per-operation; `0.0` disables a fault class.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; two injectors with the same plan and the same call
+    /// sequence behave identically.
+    pub seed: u64,
+    /// Probability a read fails with a retryable [`DiskError::Transient`].
+    pub p_transient_read: f64,
+    /// Probability a write fails with a retryable transient, leaving the
+    /// medium untouched.
+    pub p_transient_write: f64,
+    /// Probability a write *tears*: a prefix of the new block lands, the
+    /// tail keeps the old bytes, and the call reports a transient error.
+    pub p_torn_write: f64,
+    /// Probability a write is silently corrupted in flight (one bit flips
+    /// between the caller's buffer and the medium; the call reports
+    /// success).
+    pub p_bit_flip_write: f64,
+    /// Probability a read mints a new permanently bad sector at the
+    /// addressed block (and fails with [`DiskError::BadSector`]).
+    pub p_bad_sector_read: f64,
+    /// Probability an operation takes a latency spike.
+    pub p_latency_spike: f64,
+    /// Virtual cost of a normal operation, microseconds.
+    pub latency_base_us: u64,
+    /// Additional virtual cost of a spiked operation, microseconds.
+    pub latency_spike_us: u64,
+    /// Deterministic one-shot faults.
+    pub scheduled: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the wrapper becomes a transparent
+    /// (but still latency-accounting) pass-through.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            p_transient_read: 0.0,
+            p_transient_write: 0.0,
+            p_torn_write: 0.0,
+            p_bit_flip_write: 0.0,
+            p_bad_sector_read: 0.0,
+            p_latency_spike: 0.0,
+            latency_base_us: 100,
+            latency_spike_us: 50_000,
+            scheduled: Vec::new(),
+        }
+    }
+}
+
+/// Counters of everything the injector did, for chaos-run reports.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct FaultStats {
+    /// Total operations seen (reads + writes + flushes).
+    pub ops: u64,
+    /// Transient read errors injected.
+    pub transient_reads: u64,
+    /// Transient write errors injected (medium untouched).
+    pub transient_writes: u64,
+    /// Torn writes injected (prefix landed, error reported).
+    pub torn_writes: u64,
+    /// Writes silently corrupted in flight.
+    pub bit_flips: u64,
+    /// Bad sectors minted (probabilistic and scheduled).
+    pub bad_sectors: u64,
+    /// Whole-disk failures applied.
+    pub disk_fails: u64,
+    /// Silent at-rest corruptions applied (scheduled).
+    pub silent_corruptions: u64,
+    /// Latency spikes charged.
+    pub latency_spikes: u64,
+    /// Total virtual latency charged, microseconds.
+    pub latency_us: u64,
+}
+
+/// A [`DiskBackend`] wrapper that injects the faults of a [`FaultPlan`].
+pub struct FaultInjector<B> {
+    inner: B,
+    plan: FaultPlan,
+    rng: StdRng,
+    op: u64,
+    next_scheduled: usize,
+    bad: BTreeSet<(usize, usize)>,
+    dead: BTreeSet<usize>,
+    stats: FaultStats,
+}
+
+impl<B: DiskBackend> FaultInjector<B> {
+    /// Wrap `inner` under `plan`. Scheduled faults are sorted by
+    /// operation count.
+    pub fn new(inner: B, mut plan: FaultPlan) -> Self {
+        plan.scheduled.sort_by_key(|s| s.at_op);
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            inner,
+            plan,
+            rng,
+            op: 0,
+            next_scheduled: 0,
+            bad: BTreeSet::new(),
+            dead: BTreeSet::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Direct access to the wrapped backend (oracle checks in tests).
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// Kill a disk immediately (outside the schedule).
+    pub fn fail_disk(&mut self, disk: usize) {
+        if self.dead.insert(disk) {
+            self.stats.disk_fails += 1;
+        }
+    }
+
+    /// Whether the injector has marked `disk` dead.
+    pub fn is_dead(&self, disk: usize) -> bool {
+        self.dead.contains(&disk)
+    }
+
+    /// Make a sector permanently unreadable immediately (outside the
+    /// schedule). Chaos harnesses use this to place media failures at
+    /// exact points of their own op sequence.
+    pub fn mint_bad_sector(&mut self, disk: usize, block: usize) {
+        if self.bad.insert((disk, block)) {
+            self.stats.bad_sectors += 1;
+        }
+    }
+
+    /// Flip one deterministic bit of the stored block immediately,
+    /// bypassing the fault machinery — at-rest bit rot on demand.
+    pub fn corrupt_at_rest(&mut self, disk: usize, block: usize) {
+        self.apply_scheduled(&FaultKind::SilentCorrupt { disk, block });
+    }
+
+    /// Currently bad sectors, as `(disk, block)` pairs.
+    pub fn bad_sectors(&self) -> Vec<(usize, usize)> {
+        self.bad.iter().copied().collect()
+    }
+
+    /// Advance the operation clock: charge latency and fire any scheduled
+    /// faults that have come due.
+    fn tick(&mut self) {
+        self.op += 1;
+        self.stats.ops += 1;
+        self.stats.latency_us += self.plan.latency_base_us;
+        if self.plan.p_latency_spike > 0.0 && self.rng.gen_bool(self.plan.p_latency_spike) {
+            self.stats.latency_spikes += 1;
+            self.stats.latency_us += self.plan.latency_spike_us;
+        }
+        while let Some(s) = self.plan.scheduled.get(self.next_scheduled) {
+            if s.at_op > self.op {
+                break;
+            }
+            let fault = s.fault.clone();
+            self.next_scheduled += 1;
+            self.apply_scheduled(&fault);
+        }
+    }
+
+    fn apply_scheduled(&mut self, fault: &FaultKind) {
+        match *fault {
+            FaultKind::DiskFail(disk) => {
+                if self.dead.insert(disk) {
+                    self.stats.disk_fails += 1;
+                }
+            }
+            FaultKind::BadSector { disk, block } => {
+                if self.bad.insert((disk, block)) {
+                    self.stats.bad_sectors += 1;
+                }
+            }
+            FaultKind::SilentCorrupt { disk, block } => {
+                // Flip one bit at rest, bypassing the fault machinery.
+                let mut buf = vec![0u8; self.inner.block_size()];
+                if self.inner.read_block(disk, block, &mut buf).is_ok() {
+                    let bit = self.rng.gen_range(0..buf.len() * 8);
+                    buf[bit / 8] ^= 1 << (bit % 8);
+                    if self.inner.write_block(disk, block, &buf).is_ok() {
+                        self.stats.silent_corruptions += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<B: DiskBackend> DiskBackend for FaultInjector<B> {
+    fn disks(&self) -> usize {
+        self.inner.disks()
+    }
+
+    fn blocks(&self) -> usize {
+        self.inner.blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&mut self, disk: usize, block: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.tick();
+        self.check_addr(disk, block)?;
+        if self.dead.contains(&disk) {
+            return Err(DiskError::Failed { disk });
+        }
+        if self.bad.contains(&(disk, block)) {
+            return Err(DiskError::BadSector { disk, block });
+        }
+        if self.plan.p_bad_sector_read > 0.0 && self.rng.gen_bool(self.plan.p_bad_sector_read) {
+            self.bad.insert((disk, block));
+            self.stats.bad_sectors += 1;
+            return Err(DiskError::BadSector { disk, block });
+        }
+        if self.plan.p_transient_read > 0.0 && self.rng.gen_bool(self.plan.p_transient_read) {
+            self.stats.transient_reads += 1;
+            return Err(DiskError::Transient);
+        }
+        self.inner.read_block(disk, block, buf)
+    }
+
+    fn write_block(&mut self, disk: usize, block: usize, data: &[u8]) -> Result<(), DiskError> {
+        self.tick();
+        self.check_addr(disk, block)?;
+        if self.dead.contains(&disk) {
+            return Err(DiskError::Failed { disk });
+        }
+        if self.plan.p_torn_write > 0.0 && self.rng.gen_bool(self.plan.p_torn_write) {
+            // A prefix of the new data lands; the tail keeps the old
+            // bytes; the caller sees a retryable error. A successful
+            // retry overwrites the tear.
+            let mut torn = vec![0u8; data.len()];
+            if self.inner.read_block(disk, block, &mut torn).is_ok() {
+                let cut = self.rng.gen_range(1..data.len().max(2));
+                let cut = cut.min(data.len());
+                torn[..cut].copy_from_slice(&data[..cut]);
+                let _ = self.inner.write_block(disk, block, &torn);
+            }
+            self.stats.torn_writes += 1;
+            return Err(DiskError::Transient);
+        }
+        if self.plan.p_transient_write > 0.0 && self.rng.gen_bool(self.plan.p_transient_write) {
+            self.stats.transient_writes += 1;
+            return Err(DiskError::Transient);
+        }
+        let flipped;
+        let payload: &[u8] =
+            if self.plan.p_bit_flip_write > 0.0 && self.rng.gen_bool(self.plan.p_bit_flip_write) {
+                let mut buf = data.to_vec();
+                let bit = self.rng.gen_range(0..buf.len() * 8);
+                buf[bit / 8] ^= 1 << (bit % 8);
+                self.stats.bit_flips += 1;
+                flipped = buf;
+                &flipped
+            } else {
+                data
+            };
+        self.inner.write_block(disk, block, payload)?;
+        // Drives remap bad sectors on a successful write.
+        self.bad.remove(&(disk, block));
+        Ok(())
+    }
+
+    fn flush(&mut self, disk: usize) -> Result<(), DiskError> {
+        self.tick();
+        if self.dead.contains(&disk) {
+            return Err(DiskError::Failed { disk });
+        }
+        self.inner.flush(disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn quiet_injector() -> FaultInjector<MemBackend> {
+        FaultInjector::new(MemBackend::new(3, 8, 16), FaultPlan::quiet(42))
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let mut inj = quiet_injector();
+        let data = [9u8; 16];
+        inj.write_block(0, 0, &data).unwrap();
+        let mut buf = [0u8; 16];
+        inj.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(inj.stats().ops, 2);
+        assert!(inj.stats().latency_us > 0);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_exact_ops() {
+        let mut plan = FaultPlan::quiet(7);
+        plan.scheduled = vec![
+            ScheduledFault {
+                at_op: 2,
+                fault: FaultKind::BadSector { disk: 1, block: 3 },
+            },
+            ScheduledFault {
+                at_op: 4,
+                fault: FaultKind::DiskFail(2),
+            },
+        ];
+        let mut inj = FaultInjector::new(MemBackend::new(3, 8, 16), plan);
+        let mut buf = [0u8; 16];
+        inj.read_block(0, 0, &mut buf).unwrap(); // op 1
+        inj.read_block(0, 1, &mut buf).unwrap(); // op 2: sector goes bad
+        assert!(matches!(
+            inj.read_block(1, 3, &mut buf), // op 3
+            Err(DiskError::BadSector { disk: 1, block: 3 })
+        ));
+        assert!(matches!(
+            inj.read_block(2, 0, &mut buf), // op 4: disk 2 dies
+            Err(DiskError::Failed { disk: 2 })
+        ));
+        assert_eq!(inj.stats().bad_sectors, 1);
+        assert_eq!(inj.stats().disk_fails, 1);
+    }
+
+    #[test]
+    fn bad_sector_remaps_on_write() {
+        let mut plan = FaultPlan::quiet(7);
+        plan.scheduled = vec![ScheduledFault {
+            at_op: 1,
+            fault: FaultKind::BadSector { disk: 0, block: 0 },
+        }];
+        let mut inj = FaultInjector::new(MemBackend::new(1, 2, 8), plan);
+        let mut buf = [0u8; 8];
+        assert!(inj.read_block(0, 0, &mut buf).is_err());
+        inj.write_block(0, 0, &[1u8; 8]).unwrap();
+        inj.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 8]);
+    }
+
+    #[test]
+    fn torn_write_leaves_mixed_bytes_and_reports_transient() {
+        let mut plan = FaultPlan::quiet(3);
+        plan.p_torn_write = 1.0;
+        let mut inj = FaultInjector::new(MemBackend::new(1, 1, 32), plan);
+        let old = [0xAAu8; 32];
+        inj.inner_mut().disk_bytes_mut(0).copy_from_slice(&old);
+        let new = [0x55u8; 32];
+        assert!(matches!(
+            inj.write_block(0, 0, &new),
+            Err(DiskError::Transient)
+        ));
+        let medium = inj.inner_mut().disk_bytes_mut(0).to_vec();
+        assert!(medium.contains(&0x55), "no new bytes landed");
+        assert!(medium.contains(&0xAA), "no old bytes survived — not torn");
+        assert_eq!(inj.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let mut plan = FaultPlan::quiet(99);
+        plan.p_transient_read = 0.3;
+        plan.p_latency_spike = 0.2;
+        let run = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(MemBackend::new(2, 4, 8), plan);
+            let mut buf = [0u8; 8];
+            let outcomes: Vec<bool> = (0..50)
+                .map(|i| inj.read_block(i % 2, (i / 2) % 4, &mut buf).is_ok())
+                .collect();
+            (outcomes, inj.stats().clone())
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+
+    #[test]
+    fn silent_corruption_changes_exactly_one_bit() {
+        let mut plan = FaultPlan::quiet(5);
+        plan.scheduled = vec![ScheduledFault {
+            at_op: 1,
+            fault: FaultKind::SilentCorrupt { disk: 0, block: 0 },
+        }];
+        let mut inj = FaultInjector::new(MemBackend::new(1, 1, 16), plan);
+        let mut buf = [0u8; 16];
+        inj.read_block(0, 0, &mut buf).unwrap(); // fires the corruption
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit should have flipped");
+        assert_eq!(inj.stats().silent_corruptions, 1);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # dcode-faults
+//!
+//! The fault-tolerant disk layer under the D-Code reproduction's array
+//! stack. The coding theory above this crate assumes a binary failure
+//! model — a disk is present or absent — but real RAID-6 deployments face
+//! the mixed modes the SD-codes and "Beyond RAID 6" literature documents:
+//! individual sectors die, writes tear mid-block, bits rot silently, and
+//! devices stall before they fail. This crate models all of that:
+//!
+//! * [`backend`] — the [`DiskBackend`] trait (block read/write/flush with
+//!   typed [`DiskError`]s) and the in-memory [`MemBackend`];
+//! * [`file`] — [`FileBackend`], a file-per-disk backend doing seek-based
+//!   per-block I/O (no whole-disk buffering);
+//! * [`inject`] — [`FaultInjector`], a deterministic wrapper driven by a
+//!   seeded [`FaultPlan`]: transient errors, permanently bad sectors, torn
+//!   writes, silent bit flips, and latency spikes, plus scheduled
+//!   one-shot faults for reproducible chaos scenarios;
+//! * [`crc`] — the CRC32 (IEEE) block checksum that converts silent
+//!   corruption into detectable erasures one layer up.
+//!
+//! Everything is deterministic per seed: a chaos run that finds a bug is
+//! a regression test forever.
+
+pub mod backend;
+pub mod crc;
+pub mod file;
+pub mod inject;
+
+pub use backend::{DiskBackend, DiskError, MemBackend};
+pub use crc::crc32;
+pub use file::{disk_file_name, FileBackend};
+pub use inject::{FaultInjector, FaultKind, FaultPlan, FaultStats, ScheduledFault};

@@ -13,7 +13,8 @@
 //! | [`iosim`] | `dcode-iosim` | `<S,L,T>` workloads, per-disk I/O accounting, LF/Cost metrics (Figures 4–5) |
 //! | [`disksim`] | `dcode-disksim` | simulated Savvio-class disk array, read-speed experiments (Figures 6–7) |
 //! | [`recovery`] | `dcode-recovery` | conventional vs hybrid single-disk rebuild optimization |
-//! | [`mod@array`] | `dcode-array` | multi-stripe array: rotation, degraded service, rebuild, scrubbing |
+//! | [`mod@array`] | `dcode-array` | multi-stripe array: rotation, degraded service, rebuild, scrubbing, resilient backend-driven array, chaos soak |
+//! | [`faults`] | `dcode-faults` | disk backends (memory, file), typed disk errors, CRC32, deterministic fault injection |
 //! | [`verify`] | `dcode-verify` | symbolic GF(2) verifier, static race checker, and schedule linter for compiled XOR programs |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
@@ -38,6 +39,7 @@ pub use dcode_baselines as baselines;
 pub use dcode_codec as codec;
 pub use dcode_core as core;
 pub use dcode_disksim as disksim;
+pub use dcode_faults as faults;
 pub use dcode_iosim as iosim;
 pub use dcode_recovery as recovery;
 pub use dcode_verify as verify;
