@@ -31,8 +31,7 @@
 use crate::array::ArrayError;
 use crate::device::ElementIo;
 use crate::rotation::RotationScheme;
-use dcode_codec::{apply_plan, encode, Stripe};
-use dcode_core::decoder::plan_recovery;
+use dcode_codec::{CacheStats, ScheduleCache, Stripe};
 use dcode_core::grid::Cell;
 use dcode_core::layout::CodeLayout;
 use dcode_faults::{crc32, DiskBackend, DiskError};
@@ -132,6 +131,12 @@ pub struct ResilientArray<B> {
     fail_threshold: usize,
     rebuild: Option<Rebuild>,
     stats: ResilientStats,
+    /// Memoized compiled XOR schedules: the full-stripe encode program and
+    /// per-(erasure, missing-set) recovery subprograms. In steady state —
+    /// the same disk dead across ten thousand reads, or a long rebuild —
+    /// every encode and degraded read replays a cached program and
+    /// compiles nothing.
+    schedules: ScheduleCache,
 }
 
 impl<B: DiskBackend> ResilientArray<B> {
@@ -178,6 +183,7 @@ impl<B: DiskBackend> ResilientArray<B> {
             fail_threshold,
             rebuild: None,
             stats: ResilientStats::default(),
+            schedules: ScheduleCache::new(),
         }
     }
 
@@ -231,6 +237,12 @@ impl<B: DiskBackend> ResilientArray<B> {
     /// Counters so far.
     pub fn stats(&self) -> &ResilientStats {
         &self.stats
+    }
+
+    /// Hit/miss counters of the embedded schedule cache — the steady-state
+    /// proof that degraded reads and encodes stop compiling after warm-up.
+    pub fn schedule_stats(&self) -> CacheStats {
+        self.schedules.stats()
     }
 
     /// Rebuild progress as `(slot, blocks_done, blocks_total)`.
@@ -463,7 +475,6 @@ impl<B: DiskBackend> ResilientArray<B> {
 
         // Column-granular erasure set: every slot that cannot serve this
         // whole stripe, plus the columns of the cells that just failed.
-        let grid = self.layout.grid();
         let mut erased_cols: BTreeSet<usize> = (0..self.layout.disks())
             .filter(|&s| !self.slot_serves_stripe(s, stripe))
             .map(|s| self.col_of(stripe, s))
@@ -473,15 +484,17 @@ impl<B: DiskBackend> ResilientArray<B> {
         }
         let mut loaded: BTreeSet<Cell> = wanted.difference(&missing).copied().collect();
 
-        // Re-plan whenever reading a survivor surfaces a new failure.
+        // Re-plan whenever reading a survivor surfaces a new failure. The
+        // compiled subprogram (and its surviving-read list) comes from the
+        // schedule cache keyed on (erased columns, missing cells): a
+        // stable failure pattern — the steady state of a dead disk or a
+        // long rebuild — plans and compiles only on its first read.
         'replan: loop {
-            let erased: BTreeSet<Cell> = erased_cols
-                .iter()
-                .flat_map(|&col| grid.column(col))
-                .collect();
-            let plan = plan_recovery(&self.layout, &erased).map_err(|_| self.too_many())?;
-            let sub = plan.subplan_for(&missing);
-            for cell in sub.surviving_reads() {
+            let compiled = self
+                .schedules
+                .recovery_subprogram(&self.layout, erased_cols.iter().copied(), &missing)
+                .map_err(|_| self.too_many())?;
+            for &cell in compiled.reads.iter() {
                 if loaded.contains(&cell) {
                     continue;
                 }
@@ -496,7 +509,7 @@ impl<B: DiskBackend> ResilientArray<B> {
                     }
                 }
             }
-            apply_plan(&mut scratch, &sub);
+            compiled.program.run(&mut scratch);
             break;
         }
 
@@ -601,7 +614,9 @@ impl<B: DiskBackend> ResilientArray<B> {
                 .block_mut(cell)
                 .copy_from_slice(&bytes[i * self.block_size..(i + 1) * self.block_size]);
         }
-        encode(&self.layout, &mut scratch);
+        self.schedules
+            .encode_program(&self.layout)
+            .run(&mut scratch);
         // Persist the modified data cells plus every (recomputed) parity.
         let mut targets: Vec<Cell> = (within..within + chunk)
             .map(|i| self.layout.logical_to_cell(i))
@@ -832,6 +847,29 @@ mod tests {
         let mut expect = data;
         expect[10 * 16..13 * 16].copy_from_slice(&patch);
         assert_eq!(a.read(0, a.capacity_elements()).unwrap(), expect);
+    }
+
+    #[test]
+    fn steady_state_degraded_reads_stop_compiling() {
+        let mut a = mem_array(7, 4, 0);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        a.fail_disk(2).unwrap();
+        // Warm-up pass: every distinct (erasure, missing-set) pair this
+        // workload can produce gets compiled and cached exactly once.
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        let warm = a.schedule_stats();
+        assert!(warm.misses > 0, "warm-up should have compiled something");
+        // Steady state: identical degraded reads are pure cache hits.
+        for _ in 0..3 {
+            assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        }
+        let steady = a.schedule_stats();
+        assert_eq!(
+            steady.misses, warm.misses,
+            "degraded reads kept compiling after warm-up"
+        );
+        assert!(steady.hits > warm.hits);
     }
 
     #[test]

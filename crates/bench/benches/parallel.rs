@@ -1,0 +1,152 @@
+//! Criterion: thread-scaling of the pool-parallel encode paths, emitting
+//! `BENCH_parallel.json` at the repository root.
+//!
+//! Two shapes are measured per code, each on a dedicated
+//! [`minipool::WorkerPool`] sized to the requested fan-out (so the pool
+//! machinery is exercised even where the host clamp would collapse the
+//! public API to sequential):
+//!
+//! * `level/…/tN` — one stripe, ops of each dependency level fanned out
+//!   over N workers ([`XorProgram::run_pooled`]);
+//! * `bulk/…/tN` — a batch of stripes fanned out whole-stripe per job
+//!   ([`dcode_codec::bulk::encode_stripes_pooled`]).
+//!
+//! The JSON records `host_parallelism` alongside the medians: on a
+//! single-core host the t2/t4/t8 rows measure pool overhead, not speedup,
+//! and downstream tooling needs that context to read the numbers honestly.
+//!
+//! `DCODE_BENCH_FAST=1` shrinks blocks and sample counts for CI smoke.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use dcode_baselines::registry::{build, EVALUATED_CODES};
+use dcode_codec::bulk::encode_stripes_pooled;
+use dcode_codec::schedule::XorProgram;
+use dcode_codec::{cache, Stripe};
+use minipool::WorkerPool;
+use std::io::Write;
+use std::sync::Arc;
+
+const P: usize = 13;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn fast() -> bool {
+    std::env::var("DCODE_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn block_bytes() -> usize {
+    if fast() {
+        4 * 1024
+    } else {
+        64 * 1024
+    }
+}
+
+fn bulk_stripes() -> usize {
+    if fast() {
+        4
+    } else {
+        16
+    }
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    let mut x = 0x243F6A8885A308D3u64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 29) as u8
+        })
+        .collect()
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let block = block_bytes();
+    let mut group = c.benchmark_group("parallel");
+    if fast() {
+        group.sample_size(5);
+    }
+    for &code in &EVALUATED_CODES {
+        let layout = build(code, P).unwrap();
+        let program: Arc<XorProgram> = cache::global().encode_program(&layout);
+        let data = payload(layout.data_len() * block);
+        let stripe = Stripe::from_data(&layout, block, &data);
+        let batch: Vec<Stripe> = (0..bulk_stripes()).map(|_| stripe.clone()).collect();
+        for &t in &THREADS {
+            let pool = WorkerPool::with_workers(t);
+            group.throughput(Throughput::Bytes((layout.data_len() * block) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("level/{}", code.name()), format!("t{t}")),
+                &stripe,
+                |b, s| {
+                    b.iter_batched(
+                        || s.clone(),
+                        |mut s| XorProgram::run_pooled(&program, &mut s, &pool, t),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+            group.throughput(Throughput::Bytes(
+                (layout.data_len() * block * batch.len()) as u64,
+            ));
+            group.bench_with_input(
+                BenchmarkId::new(format!("bulk/{}", code.name()), format!("t{t}")),
+                &batch,
+                |b, stripes| {
+                    b.iter_batched(
+                        || stripes.clone(),
+                        |mut ss| encode_stripes_pooled(&program, &mut ss, &pool, t),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Write `BENCH_parallel.json`: every measurement plus the host context a
+/// reader needs to interpret thread-scaling on this machine.
+fn emit_trajectory_point(c: &Criterion) {
+    let results = c.results();
+    let gib = |median_ns: f64, bytes: u64| -> f64 {
+        if median_ns <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0)
+    };
+    let mut entries = String::new();
+    for r in results {
+        let bytes = match r.throughput {
+            Some(criterion::Throughput::Bytes(b)) => b,
+            _ => 0,
+        };
+        entries.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"gib_per_s\": {:.4}}},\n",
+            r.id,
+            r.median_ns,
+            gib(r.median_ns, bytes)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"p\": {P},\n  \"block_bytes\": {},\n  \
+         \"bulk_stripes\": {},\n  \"threads\": [1, 2, 4, 8],\n  \
+         \"host_parallelism\": {},\n  \"results\": [\n{}  ]\n}}\n",
+        block_bytes(),
+        bulk_stripes(),
+        minipool::host_parallelism(),
+        entries.trim_end_matches(",\n").to_string() + "\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_parallel(&mut c);
+    emit_trajectory_point(&c);
+}

@@ -1,0 +1,176 @@
+//! Criterion: recovery and degraded-read replay throughput for every
+//! registry code, emitting `BENCH_recovery.json` at the repository root.
+//!
+//! For each code at p ∈ {7, 13}:
+//!
+//! * `single/…` — rebuild one erased column (column 0) by replaying the
+//!   cached compiled recovery program;
+//! * `double/…` — rebuild two erased columns (0 and 1) the same way;
+//! * `degraded/…` — a degraded read: reconstruct only column 0's cells
+//!   under the double erasure {0, 1}, via the cached subprogram — the
+//!   `ResilientArray` steady-state path.
+//!
+//! All programs come from the global [`dcode_codec::ScheduleCache`], so
+//! the measurements cover exactly what the array serves after warm-up:
+//! replay only, no planning or compilation. Throughput is counted in
+//! reconstructed bytes. The JSON also records each program's op/source
+//! counts and its surviving-read footprint (the disk I/O the paper's
+//! read-optimization argument is about).
+//!
+//! `DCODE_BENCH_FAST=1` shrinks blocks and sample counts for CI smoke.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use dcode_baselines::registry::{build, ALL_CODES};
+use dcode_codec::{cache, Stripe};
+use dcode_core::grid::Cell;
+use std::collections::BTreeSet;
+use std::io::Write;
+
+fn fast() -> bool {
+    std::env::var("DCODE_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+fn block_bytes() -> usize {
+    if fast() {
+        4 * 1024
+    } else {
+        64 * 1024
+    }
+}
+
+fn primes() -> &'static [usize] {
+    if fast() {
+        &[7]
+    } else {
+        &[7, 13]
+    }
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    let mut x = 0xD1B54A32D192ED03u64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 31) as u8
+        })
+        .collect()
+}
+
+/// One row of the JSON report.
+struct Row {
+    id: String,
+    median_ns: f64,
+    recovered_bytes: u64,
+    ops: usize,
+    sources: usize,
+    surviving_reads: usize,
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let block = block_bytes();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut group = c.benchmark_group("recovery");
+    if fast() {
+        group.sample_size(5);
+    }
+    for &p in primes() {
+        for &code in &ALL_CODES {
+            let layout = build(code, p).unwrap();
+            let grid = layout.grid();
+            let data = payload(layout.data_len() * block);
+            let mut encoded = Stripe::from_data(&layout, block, &data);
+            cache::global().encode_program(&layout).run(&mut encoded);
+
+            // (scenario, erased columns, cells the replay reconstructs)
+            let single: BTreeSet<Cell> = grid.column(0).collect();
+            let double: BTreeSet<Cell> = [0usize, 1]
+                .iter()
+                .flat_map(|&col| grid.column(col))
+                .collect();
+            let scenarios: [(&str, &[usize], &BTreeSet<Cell>); 3] = [
+                ("single", &[0], &single),
+                ("double", &[0, 1], &double),
+                ("degraded", &[0, 1], &single),
+            ];
+            for (scenario, cols, targets) in scenarios {
+                let compiled = if scenario == "degraded" {
+                    cache::global()
+                        .recovery_subprogram(&layout, cols.iter().copied(), targets)
+                        .unwrap()
+                } else {
+                    cache::global().column_program(&layout, cols).unwrap()
+                };
+                let mut lost = encoded.clone();
+                lost.erase_columns(cols);
+                let recovered_bytes = (targets.len() * block) as u64;
+                let label = format!("{}/{}", scenario, code.name());
+                group.throughput(Throughput::Bytes(recovered_bytes));
+                group.bench_with_input(BenchmarkId::new(label, format!("p{p}")), &lost, |b, s| {
+                    b.iter_batched(
+                        || s.clone(),
+                        |mut s| compiled.program.run(&mut s),
+                        criterion::BatchSize::LargeInput,
+                    );
+                });
+                rows.push(Row {
+                    id: format!("recovery/{}/{}/p{p}", scenario, code.name()),
+                    median_ns: 0.0, // filled from Criterion results below
+                    recovered_bytes,
+                    ops: compiled.program.op_count(),
+                    sources: compiled.program.source_count(),
+                    surviving_reads: compiled.reads.len(),
+                });
+            }
+        }
+    }
+    group.finish();
+    // Pair program shape with the recorded medians and emit the report.
+    for row in &mut rows {
+        if let Some(r) = c.results().iter().find(|r| r.id == row.id) {
+            row.median_ns = r.median_ns;
+        }
+    }
+    emit_trajectory_point(&rows);
+}
+
+fn emit_trajectory_point(rows: &[Row]) {
+    let gib = |median_ns: f64, bytes: u64| -> f64 {
+        if median_ns <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0)
+    };
+    let mut entries = String::new();
+    for r in rows {
+        entries.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"gib_per_s\": {:.4}, \
+             \"ops\": {}, \"sources\": {}, \"surviving_reads\": {}}},\n",
+            r.id,
+            r.median_ns,
+            gib(r.median_ns, r.recovered_bytes),
+            r.ops,
+            r.sources,
+            r.surviving_reads,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"recovery\",\n  \"primes\": {:?},\n  \"block_bytes\": {},\n  \
+         \"host_parallelism\": {},\n  \"results\": [\n{}  ]\n}}\n",
+        primes(),
+        block_bytes(),
+        minipool::host_parallelism(),
+        entries.trim_end_matches(",\n").to_string() + "\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_recovery(&mut c);
+}

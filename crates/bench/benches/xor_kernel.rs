@@ -1,7 +1,10 @@
-//! Criterion: the raw XOR kernels underlying every encode/decode path.
+//! Criterion: the raw XOR kernels underlying every encode/decode path,
+//! plus the tile-size sweep that justifies `dcode_codec::xor::TILE_BYTES`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dcode_codec::xor::{xor_into, xor_many_into, xor_many_into_unrolled};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use dcode_codec::xor::{
+    xor_into, xor_many_into, xor_many_into_tiled, xor_many_into_unrolled, TILE_BYTES,
+};
 
 fn bench_xor(c: &mut Criterion) {
     let mut group = c.benchmark_group("xor_kernel");
@@ -29,5 +32,64 @@ fn bench_xor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_xor);
-criterion_main!(benches);
+/// Sweep the gather tile size over a many-source fold too large for L2, to
+/// pick (and keep honest) the compiled-in `TILE_BYTES`. Prints the winner;
+/// if it is consistently not `TILE_BYTES`, the constant should move.
+fn bench_tile_sweep(c: &mut Criterion) {
+    const LEN: usize = 1024 * 1024;
+    const N_SOURCES: usize = 11;
+    let sources: Vec<Vec<u8>> = (0..N_SOURCES)
+        .map(|k| (0..LEN).map(|i| ((i * 29 + k * 7) % 251) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = sources.iter().map(std::vec::Vec::as_slice).collect();
+    let mut dst = vec![0u8; LEN];
+    let tiles: [usize; 6] = [
+        4 * 1024,
+        8 * 1024,
+        16 * 1024,
+        32 * 1024,
+        64 * 1024,
+        128 * 1024,
+    ];
+    {
+        let mut group = c.benchmark_group("tile_sweep");
+        group.throughput(Throughput::Bytes(LEN as u64));
+        for &tile in &tiles {
+            group.bench_with_input(
+                BenchmarkId::new("xor_many_11_tiled", tile),
+                &tile,
+                |b, &t| b.iter(|| xor_many_into_tiled(&mut dst, &refs, t)),
+            );
+        }
+        group.finish();
+    }
+    let best = tiles
+        .iter()
+        .filter_map(|&t| {
+            c.results()
+                .iter()
+                .find(|r| r.id == format!("tile_sweep/xor_many_11_tiled/{t}"))
+                .map(|r| (t, r.median_ns))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN medians"));
+    if let Some((tile, ns)) = best {
+        let marker = if tile == TILE_BYTES {
+            "(= TILE_BYTES)"
+        } else {
+            ""
+        };
+        println!(
+            "tile sweep best: {} KiB at {:.0} ns/iter {marker} — compiled-in TILE_BYTES = {} KiB",
+            tile / 1024,
+            ns,
+            TILE_BYTES / 1024
+        );
+    }
+}
+
+criterion_group!(benches, bench_xor, bench_tile_sweep);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

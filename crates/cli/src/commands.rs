@@ -7,7 +7,7 @@ use crate::meta::ArrayMeta;
 use dcode_array::chaos::{soak, ChaosConfig};
 use dcode_array::scrub::{scrub_stripe, scrub_stripe_dry, ScrubReport};
 use dcode_baselines::registry::CodeId;
-use dcode_codec::{apply_plan, encode, verify_parities, Stripe};
+use dcode_codec::{apply_plan, encode_payload, verify_parities, Stripe};
 use dcode_core::decoder::plan_column_recovery;
 use std::fmt;
 use std::path::Path;
@@ -100,19 +100,9 @@ pub fn store(
         stripes: stripes_needed,
         payload_len: payload.len(),
     };
-    let mut stripes = Vec::with_capacity(stripes_needed);
-    for k in 0..stripes_needed {
-        let lo = k * per_stripe;
-        let hi = ((k + 1) * per_stripe).min(payload.len());
-        let chunk = if lo < payload.len() {
-            &payload[lo..hi]
-        } else {
-            &[]
-        };
-        let mut s = Stripe::from_data(&layout, block, chunk);
-        encode(&layout, &mut s);
-        stripes.push(s);
-    }
+    // One cached compile + the persistent pool for the whole batch, instead
+    // of a schedule compile (or even a cache lookup) per stripe.
+    let stripes = encode_payload(&layout, block, &payload, 8);
     write_disks(dir, &meta, &layout, &stripes)?;
     meta.save(dir)?;
     Ok(format!(

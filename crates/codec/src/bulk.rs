@@ -1,16 +1,32 @@
 //! Bulk payload encoding: split a large payload into stripes and encode
-//! them in parallel with crossbeam scoped threads.
+//! them in parallel over the persistent worker pool.
 //!
 //! Stripes are independent, so this is embarrassingly parallel — each
-//! worker owns a disjoint chunk of the stripe vector (data-race freedom by
-//! construction, per the Rayon-style idiom the HPC guides recommend).
+//! worker job owns a disjoint chunk of the stripe vector (data-race
+//! freedom by construction, per the Rayon-style idiom the HPC guides
+//! recommend).
+//!
+//! **Pitfall (and why this module looks the way it does):** earlier
+//! revisions spawned a fresh set of scoped threads *inside every call* —
+//! thread creation plus join cost on the order of the work itself for
+//! small batches, which made "parallel" encoding measurably *slower* than
+//! single-threaded on several codes (see `BENCH_encode.json` history).
+//! Steady-state encode loops must never pay per-call spawns: jobs go to
+//! the parked workers of [`minipool::global`], the compiled program comes
+//! from the [`ScheduleCache`](crate::cache::ScheduleCache), and stripes
+//! move into jobs by ownership (a `mem::replace` with an allocation-free
+//! placeholder) rather than by copy.
 
+use crate::cache;
 use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
 use dcode_core::layout::CodeLayout;
+use minipool::WorkerPool;
+use std::sync::Arc;
 
 /// Split `payload` into as many stripes as needed (tail zero-padded) and
-/// encode each. `threads = 1` runs inline; more fan out with crossbeam.
+/// encode each. `threads = 1` runs inline; more fan out over the
+/// persistent pool, clamped to the host's available parallelism.
 pub fn encode_payload(
     layout: &CodeLayout,
     block_size: usize,
@@ -35,30 +51,58 @@ pub fn encode_payload(
     stripes
 }
 
-/// Encode a slice of stripes in place, in parallel. The layout is lowered
-/// to a compiled [`XorProgram`] once, then every stripe replays the same
-/// flat schedule.
+/// Encode a slice of stripes in place, in parallel. The compiled
+/// [`XorProgram`] comes from the global schedule cache (no per-call
+/// compile) and jobs run on the global persistent pool (no per-call
+/// spawns). The requested `threads` is clamped to the host's available
+/// parallelism — see [`encode_stripes_pooled`] for the unclamped,
+/// explicit-pool form.
 pub fn encode_stripes(layout: &CodeLayout, stripes: &mut [Stripe], threads: usize) {
+    let program = cache::global().encode_program(layout);
+    let threads = minipool::effective_parallelism(threads);
+    encode_stripes_pooled(&program, stripes, minipool::global(), threads);
+}
+
+/// Encode stripes with an explicit program, pool, and fan-out (not clamped
+/// to host parallelism — tests drive real pool fan-out with it). Each job
+/// takes ownership of a chunk of stripes via an allocation-free
+/// placeholder swap and replays the shared program sequentially over its
+/// chunk; stripe *contents* never cross threads by copy.
+pub fn encode_stripes_pooled(
+    program: &Arc<XorProgram>,
+    stripes: &mut [Stripe],
+    pool: &WorkerPool,
+    threads: usize,
+) {
     let threads = threads.max(1);
-    let program = XorProgram::compile_encode(layout);
     if threads == 1 || stripes.len() <= 1 {
         for s in stripes.iter_mut() {
             program.run(s);
         }
         return;
     }
-    let chunk = stripes.len().div_ceil(threads);
-    let program_ref = &program;
-    crossbeam::thread::scope(|scope| {
-        for part in stripes.chunks_mut(chunk) {
-            scope.spawn(move |_| {
-                for s in part {
-                    program_ref.run(s);
-                }
-            });
-        }
-    })
-    .expect("bulk encode worker panicked");
+    let workers = threads.min(stripes.len());
+    let chunk = stripes.len().div_ceil(workers);
+    let mut jobs = Vec::with_capacity(workers);
+    for part in stripes.chunks_mut(chunk) {
+        // Move the chunk's stripes into the job (placeholder swap: no
+        // block is copied or reallocated); the job returns them encoded.
+        let mut owned: Vec<Stripe> = part
+            .iter_mut()
+            .map(|s| std::mem::replace(s, Stripe::placeholder(s.grid(), s.block_size())))
+            .collect();
+        let prog = Arc::clone(program);
+        jobs.push(move || {
+            for s in &mut owned {
+                prog.run(s);
+            }
+            owned
+        });
+    }
+    let done = pool.run(jobs);
+    for (slot, encoded) in stripes.iter_mut().zip(done.into_iter().flatten()) {
+        *slot = encoded;
+    }
 }
 
 /// Reassemble the payload from encoded stripes (inverse of
@@ -96,6 +140,26 @@ mod tests {
         assert_eq!(seq.len(), 6);
         assert!(seq.iter().all(|s| verify_parities(&layout, s)));
         assert_eq!(payload_of(&layout, &seq, data.len()), data);
+    }
+
+    #[test]
+    fn pooled_fan_out_matches_sequential() {
+        // Drive the pool with real multi-worker fan-out regardless of the
+        // host's core count (encode_stripes clamps; this entry point does
+        // not).
+        let layout = dcode(7).unwrap();
+        let data = payload(layout.data_len() * 32 * 7 + 5);
+        let seq = encode_payload(&layout, 32, &data, 1);
+        let pool = minipool::WorkerPool::with_workers(4);
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        for threads in [2usize, 4, 16] {
+            let mut stripes: Vec<Stripe> = data
+                .chunks(layout.data_len() * 32)
+                .map(|c| Stripe::from_data(&layout, 32, c))
+                .collect();
+            encode_stripes_pooled(&program, &mut stripes, &pool, threads);
+            assert_eq!(stripes, seq, "threads={threads}");
+        }
     }
 
     #[test]

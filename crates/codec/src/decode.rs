@@ -5,14 +5,21 @@
 //! Step order guarantees every source is either a surviving block or an
 //! already-recovered target.
 
+use crate::cache;
 use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
 use crate::xor::xor_into;
-use dcode_core::decoder::{plan_column_recovery, RecoveryPlan, Unrecoverable};
+use dcode_core::decoder::{RecoveryPlan, Unrecoverable};
 use dcode_core::layout::CodeLayout;
 
 /// Execute a recovery plan: rebuild every erased block in place, by
 /// compiling the plan to a flat [`XorProgram`] and replaying it.
+///
+/// This is the generic entry point for *arbitrary* plans and compiles per
+/// call. Steady-state paths keyed by layout + erased columns —
+/// [`recover_columns`] here, `ResilientArray`'s degraded reads — go
+/// through the [`ScheduleCache`](crate::cache::ScheduleCache) instead and
+/// never recompile.
 pub fn apply_plan(stripe: &mut Stripe, plan: &RecoveryPlan) {
     XorProgram::compile_plan(stripe.grid(), plan).run(stripe);
 }
@@ -30,7 +37,10 @@ pub fn apply_plan_naive(stripe: &mut Stripe, plan: &RecoveryPlan) {
     }
 }
 
-/// Convenience: erase `failed_cols` in the stripe and rebuild them.
+/// Convenience: erase `failed_cols` in the stripe and rebuild them, using
+/// the globally cached compiled recovery program for this
+/// `(layout, column set)` — repeated recoveries off the same failure
+/// pattern compile nothing.
 ///
 /// Returns the plan used, so callers can inspect the read footprint.
 pub fn recover_columns(
@@ -38,10 +48,16 @@ pub fn recover_columns(
     stripe: &mut Stripe,
     failed_cols: &[usize],
 ) -> Result<RecoveryPlan, Unrecoverable> {
-    let plan = plan_column_recovery(layout, failed_cols)?;
+    for &col in failed_cols {
+        assert!(col < layout.disks(), "disk {col} out of range");
+    }
+    let mut cols = failed_cols.to_vec();
+    cols.sort_unstable();
+    cols.dedup();
+    let compiled = cache::global().column_program(layout, &cols)?;
     stripe.erase_columns(failed_cols);
-    apply_plan(stripe, &plan);
-    Ok(plan)
+    compiled.program.run(stripe);
+    Ok((*compiled.plan).clone())
 }
 
 #[cfg(test)]

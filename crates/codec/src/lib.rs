@@ -5,13 +5,17 @@
 //! workspace's stand-in for the Jerasure 1.2 library the paper builds on.
 //! Generic over any [`dcode_core::layout::CodeLayout`]:
 //!
-//! * [`xor`] — `u64`-lane XOR kernels;
+//! * [`xor`] — `u64`-lane XOR kernels with set-form (overwrite) and up to
+//!   8-wide fold tiers;
 //! * [`stripe`] — in-memory stripe storage ([`Stripe`]);
-//! * [`mod@encode`] — sequential and crossbeam-parallel full-stripe encoding,
+//! * [`mod@encode`] — sequential and pool-parallel full-stripe encoding,
 //!   plus the `verify_parities` consistency check;
 //! * [`schedule`] — the plan compiler: layouts and recovery plans lower to
 //!   flat [`XorProgram`]s (contiguous index arrays, dependency levels, no
 //!   per-op allocation) that [`mod@encode`] and [`decode`] replay;
+//! * [`cache`] — the [`ScheduleCache`]: memoized compiled programs and
+//!   recovery subprograms keyed by layout fingerprint, so steady-state
+//!   encode/recover paths never recompile;
 //! * [`decode`] — replay of symbolic [`dcode_core::decoder::RecoveryPlan`]s
 //!   over real blocks;
 //! * [`update`] — read-modify-write partial-stripe writes with cascading
@@ -40,6 +44,7 @@
 
 pub mod bitmatrix;
 pub mod bulk;
+pub mod cache;
 pub mod decode;
 pub mod encode;
 pub mod gf256;
@@ -51,6 +56,7 @@ pub mod xor;
 
 pub use bitmatrix::{encode_with_matrix, generator_matrix, BitMatrix};
 pub use bulk::{encode_payload, encode_stripes, payload_of};
+pub use cache::{CacheStats, CompiledRecovery, ScheduleCache};
 pub use decode::{apply_plan, apply_plan_naive, recover_columns};
 pub use encode::{encode, encode_naive, encode_parallel, verify_parities};
 pub use schedule::XorProgram;

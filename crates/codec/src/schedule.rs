@@ -21,6 +21,8 @@ use crate::xor::xor_gather_into;
 use dcode_core::decoder::RecoveryPlan;
 use dcode_core::grid::Grid;
 use dcode_core::layout::CodeLayout;
+use minipool::WorkerPool;
+use std::sync::Arc;
 
 /// A compiled XOR program: `ops[k]` writes block `targets[k]` with the XOR
 /// of blocks `sources[src_off[k]..src_off[k+1]]` (all linear grid
@@ -223,45 +225,96 @@ impl XorProgram {
         }
     }
 
-    /// Replay the program with up to `threads` worker threads: within each
-    /// dependency level, target blocks are detached from the stripe and
-    /// ops fan out over crossbeam scoped threads reading the remaining
-    /// blocks immutably. Byte-identical to [`XorProgram::run`].
+    /// Replay the program with up to `threads` worker threads from the
+    /// process-wide [`minipool::global`] pool. Byte-identical to
+    /// [`XorProgram::run`]. Convenience wrapper over
+    /// [`XorProgram::run_pooled`] for programs not already held in an
+    /// `Arc`; it clones the program once per call, so steady-state callers
+    /// (the schedule cache, `encode_parallel`) hold `Arc<XorProgram>` and
+    /// call `run_pooled` directly.
     pub fn run_parallel(&self, stripe: &mut Stripe, threads: usize) {
         let threads = threads.max(1);
         if threads == 1 {
             return self.run(stripe);
         }
-        self.check(stripe);
-        for lv in 0..self.level_count() {
-            let (lo, hi) = (self.level_off[lv] as usize, self.level_off[lv + 1] as usize);
-            if hi - lo <= 1 {
+        let this = Arc::new(self.clone());
+        Self::run_pooled(&this, stripe, minipool::global(), threads);
+    }
+
+    /// Replay the program with up to `threads` workers of `pool`: within
+    /// each dependency level, target blocks are detached from the stripe
+    /// and ops fan out as jobs over the persistent pool, reading the
+    /// remaining blocks through a shared [`Arc`]. Byte-identical to
+    /// [`XorProgram::run`].
+    ///
+    /// No threads are spawned per call (the pool's workers are parked
+    /// between calls) and nothing per-op is allocated: the stripe's block
+    /// vector is moved — not copied — into an `Arc` for the duration of
+    /// the call, and every worker job proves it dropped its clone before
+    /// its result is received, so the storage moves back out without ever
+    /// being reallocated.
+    ///
+    /// `threads` is the requested fan-out and is honored as given (capped
+    /// at the level's op count); callers that want to avoid oversubscribing
+    /// the host clamp with [`minipool::effective_parallelism`] first, as
+    /// [`encode_parallel`](crate::encode::encode_parallel) does.
+    pub fn run_pooled(this: &Arc<Self>, stripe: &mut Stripe, pool: &WorkerPool, threads: usize) {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return this.run(stripe);
+        }
+        this.check(stripe);
+        // Move the stripe's storage into an Arc once; workers share it
+        // read-only, and between levels (all clones provably dropped)
+        // `Arc::get_mut` hands back exclusive access for detach/reattach.
+        let mut storage: Arc<Vec<Box<[u8]>>> = Arc::new(stripe.take_storage());
+        for lv in 0..this.level_count() {
+            let (lo, hi) = (this.level_off[lv] as usize, this.level_off[lv + 1] as usize);
+            let n_ops = hi - lo;
+            let blocks = Arc::get_mut(&mut storage).expect("workers dropped their storage clones");
+            if n_ops <= 1 {
                 for op in lo..hi {
-                    self.exec_op(op, stripe);
+                    let target = this.targets[op] as usize;
+                    let mut out = std::mem::take(&mut blocks[target]);
+                    this.gather_in(op, &mut out, blocks);
+                    blocks[target] = out;
                 }
                 continue;
             }
-            // Detach every target of this level, then compute into the
-            // detached boxes concurrently against the read-only stripe.
+            // Detach every target of this level, then fan chunks of
+            // (op, target block) out as owned jobs against the shared
+            // read-only storage.
             let mut taken: Vec<(usize, Box<[u8]>)> = (lo..hi)
-                .map(|op| (op, stripe.take_block_at(self.targets[op] as usize)))
+                .map(|op| (op, std::mem::take(&mut blocks[this.targets[op] as usize])))
                 .collect();
-            let chunk = taken.len().div_ceil(threads);
-            let stripe_ref = &*stripe;
-            crossbeam::thread::scope(|s| {
-                for part in taken.chunks_mut(chunk) {
-                    s.spawn(move |_| {
-                        for (op, out) in part.iter_mut() {
-                            self.gather(*op, out, stripe_ref);
-                        }
-                    });
+            let workers = threads.min(n_ops);
+            let chunk = n_ops.div_ceil(workers);
+            let mut jobs = Vec::with_capacity(workers);
+            while !taken.is_empty() {
+                let mut part: Vec<(usize, Box<[u8]>)> =
+                    taken.drain(..chunk.min(taken.len())).collect();
+                let prog = Arc::clone(this);
+                let store = Arc::clone(&storage);
+                jobs.push(move || {
+                    for (op, out) in &mut part {
+                        prog.gather_in(*op, out, &store);
+                    }
+                    part
+                });
+            }
+            let done = pool.run(jobs);
+            let blocks = Arc::get_mut(&mut storage).expect("workers dropped their storage clones");
+            for part in done {
+                for (op, out) in part {
+                    let target = this.targets[op] as usize;
+                    debug_assert!(blocks[target].is_empty(), "target reattached twice");
+                    blocks[target] = out;
                 }
-            })
-            .expect("schedule worker panicked");
-            for (op, out) in taken {
-                stripe.put_block_at(self.targets[op] as usize, out);
             }
         }
+        stripe.restore_storage(
+            Arc::try_unwrap(storage).expect("workers dropped their storage clones"),
+        );
     }
 
     fn exec_op(&self, op: usize, stripe: &mut Stripe) {
@@ -274,6 +327,13 @@ impl XorProgram {
     fn gather(&self, op: usize, out: &mut [u8], stripe: &Stripe) {
         let (lo, hi) = (self.src_off[op] as usize, self.src_off[op + 1] as usize);
         xor_gather_into(out, &self.sources[lo..hi], |i| stripe.block_at(i as usize));
+    }
+
+    /// [`XorProgram::gather`] against a bare block vector (linear grid
+    /// index order) instead of a [`Stripe`] — the pooled executor's form.
+    fn gather_in(&self, op: usize, out: &mut [u8], blocks: &[Box<[u8]>]) {
+        let (lo, hi) = (self.src_off[op] as usize, self.src_off[op + 1] as usize);
+        xor_gather_into(out, &self.sources[lo..hi], |i| &*blocks[i as usize]);
     }
 
     fn check(&self, stripe: &Stripe) {
@@ -452,6 +512,35 @@ mod tests {
                 assert_eq!(par, seq, "{} threads={threads}", layout.name());
             }
         }
+    }
+
+    #[test]
+    fn pooled_replay_matches_sequential_on_a_dedicated_pool() {
+        // Exercises the pool machinery with real fan-out regardless of the
+        // host's core count (the pool honors the explicit thread request).
+        let pool = minipool::WorkerPool::with_workers(4);
+        for layout in all_codes(7) {
+            let data = payload(layout.data_len() * 32, 123);
+            let mut seq = Stripe::from_data(&layout, 32, &data);
+            let program = Arc::new(XorProgram::compile_encode(&layout));
+            program.run(&mut seq);
+            for threads in [2usize, 4, 64] {
+                let mut par = Stripe::from_data(&layout, 32, &data);
+                XorProgram::run_pooled(&program, &mut par, &pool, threads);
+                assert_eq!(par, seq, "{} threads={threads}", layout.name());
+            }
+        }
+        // The same pool replays recovery programs too.
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let data = payload(layout.data_len() * 32, 5);
+        let mut golden = Stripe::from_data(&layout, 32, &data);
+        encode_naive(&layout, &mut golden);
+        let plan = plan_column_recovery(&layout, &[1, 4]).unwrap();
+        let program = Arc::new(XorProgram::compile_plan(layout.grid(), &plan));
+        let mut lost = golden.clone();
+        lost.erase_columns(&[1, 4]);
+        XorProgram::run_pooled(&program, &mut lost, &pool, 3);
+        assert_eq!(lost, golden);
     }
 
     #[test]

@@ -128,6 +128,34 @@ impl Stripe {
         debug_assert!(self.blocks[index].is_empty(), "slot already occupied");
         self.blocks[index] = block;
     }
+
+    /// Detach the stripe's entire block vector, leaving it empty. The pooled
+    /// executor moves the storage into an `Arc` so `'static` worker jobs can
+    /// read source blocks, then puts it back with
+    /// [`Stripe::restore_storage`] — ownership round-trips, nothing is
+    /// copied or reallocated. A stripe with detached storage trips the
+    /// length asserts in every accessor rather than reading stale data.
+    pub(crate) fn take_storage(&mut self) -> Vec<Box<[u8]>> {
+        std::mem::take(&mut self.blocks)
+    }
+
+    /// Reinstall storage detached by [`Stripe::take_storage`].
+    pub(crate) fn restore_storage(&mut self, blocks: Vec<Box<[u8]>>) {
+        debug_assert!(self.blocks.is_empty(), "storage already present");
+        debug_assert_eq!(blocks.len(), self.grid.len());
+        self.blocks = blocks;
+    }
+
+    /// A shape-compatible stripe with zero-length storage — the
+    /// allocation-free placeholder `encode_stripes` swaps in while a
+    /// stripe's real storage is owned by a worker job.
+    pub(crate) fn placeholder(grid: Grid, block_size: usize) -> Self {
+        Stripe {
+            grid,
+            block_size,
+            blocks: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

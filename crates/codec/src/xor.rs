@@ -4,6 +4,17 @@
 //! The hot loop here works in `u64` lanes via `chunks_exact` — the compiler
 //! auto-vectorizes this shape well (see the Rust Performance Book's guidance
 //! on bounds-check-free iteration) — with a scalar tail for odd lengths.
+//!
+//! Two kernel families cover the schedule executor's needs:
+//!
+//! * **accumulate** (`dst ^= s₀ ^ s₁ ^ …`): [`xor_into`] plus the wider
+//!   [`xor_into2`]/[`xor_into4`]/[`xor_into8`] folds, which amortize the
+//!   accumulator load/store over up to eight source streams;
+//! * **set** (`dst = s₀ ^ s₁ ^ …`): [`xor_set2`]/[`xor_set4`]/[`xor_set8`],
+//!   which never read `dst`. The multi-source entry points open with a set
+//!   kernel instead of `fill(0)`-or-`copy_from_slice` followed by a separate
+//!   XOR pass, saving one full write (or read-modify-write) pass over the
+//!   destination.
 
 /// `dst ^= src`, element-wise. Panics if lengths differ.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
@@ -24,27 +35,41 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     }
 }
 
-/// `dst = a ^ b`, element-wise into a fresh output slice.
+/// `dst = a ^ b`, element-wise into a fresh output slice. Single pass over
+/// `dst` (set-form kernel; `dst` is never read).
 pub fn xor_into_from(dst: &mut [u8], a: &[u8], b: &[u8]) {
     assert_eq!(dst.len(), a.len(), "xor_into_from: length mismatch (a)");
-    dst.copy_from_slice(a);
-    xor_into(dst, b);
+    assert_eq!(dst.len(), b.len(), "xor_into_from: length mismatch (b)");
+    xor_set2(dst, a, b);
 }
 
-/// XOR all `sources` together into `dst` (which is first zeroed).
-/// With no sources, `dst` becomes all-zero.
+/// XOR all `sources` together into `dst` (overwrite semantics: previous
+/// contents of `dst` do not contribute). With no sources, `dst` becomes
+/// all-zero. The first two sources are folded into the initial overwrite
+/// pass — there is no separate zeroing or copying pass over `dst`.
 pub fn xor_many_into(dst: &mut [u8], sources: &[&[u8]]) {
-    dst.fill(0);
     for src in sources {
-        xor_into(dst, src);
+        assert_eq!(dst.len(), src.len(), "xor_many_into: length mismatch");
+    }
+    match sources {
+        [] => dst.fill(0),
+        [a] => dst.copy_from_slice(a),
+        [a, b, rest @ ..] => {
+            xor_set2(dst, a, b);
+            for src in rest {
+                xor_into(dst, src);
+            }
+        }
     }
 }
 
 /// Tile size for the multi-source kernels: each destination tile stays
 /// resident in L1 while several sources stream through it, so a parity
 /// built from many members loads and stores its accumulator once per
-/// source *group* instead of once per source.
-const TILE_BYTES: usize = 32 * 1024;
+/// source *group* instead of once per source. Tuned with the
+/// `xor_kernel` bench's tile sweep (see EXPERIMENTS.md); 16 KiB leaves
+/// room in a 32 KiB L1d for the destination tile plus streaming sources.
+pub const TILE_BYTES: usize = 16 * 1024;
 
 #[inline]
 fn load_u64(bytes: &[u8]) -> u64 {
@@ -109,13 +134,287 @@ fn xor_into4(dst: &mut [u8], a: &[u8], b: &[u8], c: &[u8], e: &[u8]) {
     }
 }
 
-/// Gather-form multi-source XOR: `dst = fetch(i₀) ^ fetch(i₁) ^ …` for the
-/// given indices, resolved through `fetch` so callers never build a
-/// per-operation `Vec<&[u8]>`. This is the schedule executor's kernel:
-/// overwrite semantics (the first source is copied, the rest accumulated),
-/// cache-sized tiles, and up to four sources folded per pass. With no
-/// indices, `dst` is zeroed.
-pub(crate) fn xor_gather_into<'a, I: Copy, F>(dst: &mut [u8], indices: &[I], fetch: F)
+/// `dst ^= s0 ^ … ^ s7` over equal-length slices — eight source streams
+/// folded per accumulator load/store. D-Code and X-Code parities at p = 13
+/// have 10–11 members, so one eight-wide fold plus a short remainder covers
+/// a whole equation in two passes over the destination tile.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn xor_into8(
+    dst: &mut [u8],
+    s0: &[u8],
+    s1: &[u8],
+    s2: &[u8],
+    s3: &[u8],
+    s4: &[u8],
+    s5: &[u8],
+    s6: &[u8],
+    s7: &[u8],
+) {
+    debug_assert!(
+        dst.len() == s0.len()
+            && dst.len() == s1.len()
+            && dst.len() == s2.len()
+            && dst.len() == s3.len()
+            && dst.len() == s4.len()
+            && dst.len() == s5.len()
+            && dst.len() == s6.len()
+            && dst.len() == s7.len()
+    );
+    let mut d = dst.chunks_exact_mut(8);
+    let mut c0 = s0.chunks_exact(8);
+    let mut c1 = s1.chunks_exact(8);
+    let mut c2 = s2.chunks_exact(8);
+    let mut c3 = s3.chunks_exact(8);
+    let mut c4 = s4.chunks_exact(8);
+    let mut c5 = s5.chunks_exact(8);
+    let mut c6 = s6.chunks_exact(8);
+    let mut c7 = s7.chunks_exact(8);
+    for ((((((((d, a), b), c), e), f), g), h), k) in d
+        .by_ref()
+        .zip(c0.by_ref())
+        .zip(c1.by_ref())
+        .zip(c2.by_ref())
+        .zip(c3.by_ref())
+        .zip(c4.by_ref())
+        .zip(c5.by_ref())
+        .zip(c6.by_ref())
+        .zip(c7.by_ref())
+    {
+        let w = load_u64(d)
+            ^ load_u64(a)
+            ^ load_u64(b)
+            ^ load_u64(c)
+            ^ load_u64(e)
+            ^ load_u64(f)
+            ^ load_u64(g)
+            ^ load_u64(h)
+            ^ load_u64(k);
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for ((((((((d, a), b), c), e), f), g), h), k) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(c0.remainder())
+        .zip(c1.remainder())
+        .zip(c2.remainder())
+        .zip(c3.remainder())
+        .zip(c4.remainder())
+        .zip(c5.remainder())
+        .zip(c6.remainder())
+        .zip(c7.remainder())
+    {
+        *d ^= a ^ b ^ c ^ e ^ f ^ g ^ h ^ k;
+    }
+}
+
+/// `dst = a ^ b` (set form: `dst` is written, never read).
+#[inline]
+fn xor_set2(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
+    let mut d = dst.chunks_exact_mut(8);
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for ((d, a), b) in d.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
+        let w = load_u64(a) ^ load_u64(b);
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for ((d, a), b) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d = a ^ b;
+    }
+}
+
+/// `dst = a ^ b ^ c ^ e` (set form: `dst` is written, never read).
+#[inline]
+fn xor_set4(dst: &mut [u8], a: &[u8], b: &[u8], c: &[u8], e: &[u8]) {
+    debug_assert!(
+        dst.len() == a.len()
+            && dst.len() == b.len()
+            && dst.len() == c.len()
+            && dst.len() == e.len()
+    );
+    let mut d = dst.chunks_exact_mut(8);
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    let mut cc = c.chunks_exact(8);
+    let mut ec = e.chunks_exact(8);
+    for ((((d, a), b), c), e) in d
+        .by_ref()
+        .zip(ac.by_ref())
+        .zip(bc.by_ref())
+        .zip(cc.by_ref())
+        .zip(ec.by_ref())
+    {
+        let w = load_u64(a) ^ load_u64(b) ^ load_u64(c) ^ load_u64(e);
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for ((((d, a), b), c), e) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+        .zip(cc.remainder())
+        .zip(ec.remainder())
+    {
+        *d = a ^ b ^ c ^ e;
+    }
+}
+
+/// `dst = s0 ^ … ^ s7` (set form: `dst` is written, never read).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn xor_set8(
+    dst: &mut [u8],
+    s0: &[u8],
+    s1: &[u8],
+    s2: &[u8],
+    s3: &[u8],
+    s4: &[u8],
+    s5: &[u8],
+    s6: &[u8],
+    s7: &[u8],
+) {
+    debug_assert!(
+        dst.len() == s0.len()
+            && dst.len() == s1.len()
+            && dst.len() == s2.len()
+            && dst.len() == s3.len()
+            && dst.len() == s4.len()
+            && dst.len() == s5.len()
+            && dst.len() == s6.len()
+            && dst.len() == s7.len()
+    );
+    let mut d = dst.chunks_exact_mut(8);
+    let mut c0 = s0.chunks_exact(8);
+    let mut c1 = s1.chunks_exact(8);
+    let mut c2 = s2.chunks_exact(8);
+    let mut c3 = s3.chunks_exact(8);
+    let mut c4 = s4.chunks_exact(8);
+    let mut c5 = s5.chunks_exact(8);
+    let mut c6 = s6.chunks_exact(8);
+    let mut c7 = s7.chunks_exact(8);
+    for ((((((((d, a), b), c), e), f), g), h), k) in d
+        .by_ref()
+        .zip(c0.by_ref())
+        .zip(c1.by_ref())
+        .zip(c2.by_ref())
+        .zip(c3.by_ref())
+        .zip(c4.by_ref())
+        .zip(c5.by_ref())
+        .zip(c6.by_ref())
+        .zip(c7.by_ref())
+    {
+        let w = load_u64(a)
+            ^ load_u64(b)
+            ^ load_u64(c)
+            ^ load_u64(e)
+            ^ load_u64(f)
+            ^ load_u64(g)
+            ^ load_u64(h)
+            ^ load_u64(k);
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for ((((((((d, a), b), c), e), f), g), h), k) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(c0.remainder())
+        .zip(c1.remainder())
+        .zip(c2.remainder())
+        .zip(c3.remainder())
+        .zip(c4.remainder())
+        .zip(c5.remainder())
+        .zip(c6.remainder())
+        .zip(c7.remainder())
+    {
+        *d = a ^ b ^ c ^ e ^ f ^ g ^ h ^ k;
+    }
+}
+
+/// One destination tile: overwrite `d` with the XOR of every fetched source
+/// slice. Opens with the widest applicable *set* kernel (8/4/2/copy) so the
+/// destination is never pre-zeroed or pre-copied, then folds the remaining
+/// sources eight at a time, finishing with a 4/2/1 remainder.
+fn xor_tile<'a, I: Copy, F>(d: &mut [u8], indices: &[I], range: (usize, usize), fetch: &F)
+where
+    F: Fn(I) -> &'a [u8],
+{
+    let (start, end) = range;
+    let s = |i: I| &fetch(i)[start..end];
+    // Opening set-form group: consume the widest prefix we have a kernel for.
+    let rest = match indices {
+        [] => {
+            d.fill(0);
+            return;
+        }
+        [a] => {
+            d.copy_from_slice(s(*a));
+            return;
+        }
+        [a0, a1, a2, a3, a4, a5, a6, a7, rest @ ..] => {
+            xor_set8(
+                d,
+                s(*a0),
+                s(*a1),
+                s(*a2),
+                s(*a3),
+                s(*a4),
+                s(*a5),
+                s(*a6),
+                s(*a7),
+            );
+            rest
+        }
+        [a0, a1, a2, a3, rest @ ..] => {
+            xor_set4(d, s(*a0), s(*a1), s(*a2), s(*a3));
+            rest
+        }
+        [a0, a1, rest @ ..] => {
+            xor_set2(d, s(*a0), s(*a1));
+            rest
+        }
+    };
+    // Accumulate the rest, eight sources per pass.
+    let mut octs = rest.chunks_exact(8);
+    for o in octs.by_ref() {
+        xor_into8(
+            d,
+            s(o[0]),
+            s(o[1]),
+            s(o[2]),
+            s(o[3]),
+            s(o[4]),
+            s(o[5]),
+            s(o[6]),
+            s(o[7]),
+        );
+    }
+    let mut tail = octs.remainder();
+    if let [a, b, c, e, more @ ..] = tail {
+        xor_into4(d, s(*a), s(*b), s(*c), s(*e));
+        tail = more;
+    }
+    match tail {
+        [] => {}
+        [a] => xor_into(d, s(*a)),
+        [a, b] => xor_into2(d, s(*a), s(*b)),
+        [a, b, c] => {
+            xor_into2(d, s(*a), s(*b));
+            xor_into(d, s(*c));
+        }
+        _ => unreachable!("remainder after 8- and 4-wide folds has < 4 elements"),
+    }
+}
+
+/// Gather-form multi-source XOR with a caller-chosen tile size: see
+/// [`xor_gather_into`]. Exposed (with `fetch` specialized to plain slices
+/// via [`xor_many_into_tiled`]) so the benchmark suite can sweep tile sizes
+/// to tune [`TILE_BYTES`].
+fn xor_gather_tiled<'a, I: Copy, F>(dst: &mut [u8], indices: &[I], fetch: F, tile_bytes: usize)
 where
     F: Fn(I) -> &'a [u8],
 {
@@ -123,51 +422,63 @@ where
     for &i in indices {
         assert_eq!(fetch(i).len(), len, "xor_gather_into: length mismatch");
     }
-    let Some((&first, rest)) = indices.split_first() else {
-        dst.fill(0);
-        return;
-    };
+    let tile = tile_bytes.max(8);
     let mut start = 0;
-    while start < len {
-        let end = (start + TILE_BYTES).min(len);
-        let d = &mut dst[start..end];
-        d.copy_from_slice(&fetch(first)[start..end]);
-        let mut quads = rest.chunks_exact(4);
-        for q in quads.by_ref() {
-            xor_into4(
-                d,
-                &fetch(q[0])[start..end],
-                &fetch(q[1])[start..end],
-                &fetch(q[2])[start..end],
-                &fetch(q[3])[start..end],
-            );
-        }
-        match quads.remainder() {
-            [] => {}
-            [a] => xor_into(d, &fetch(*a)[start..end]),
-            [a, b] => xor_into2(d, &fetch(*a)[start..end], &fetch(*b)[start..end]),
-            [a, b, c] => {
-                xor_into2(d, &fetch(*a)[start..end], &fetch(*b)[start..end]);
-                xor_into(d, &fetch(*c)[start..end]);
-            }
-            _ => unreachable!("chunks_exact(4) remainder has < 4 elements"),
+    loop {
+        let end = (start + tile).min(len);
+        xor_tile(&mut dst[start..end], indices, (start, end), &fetch);
+        if end == len {
+            break;
         }
         start = end;
     }
 }
 
-/// XOR all `sources` into `dst` with multi-source unrolling: up to four
-/// sources are accumulated per pass in `u64` lanes, and the block is
-/// processed in cache-sized tiles so the destination stays hot while the
-/// sources stream through. Overwrites `dst` (no pre-zeroing pass); with no
-/// sources, `dst` becomes all-zero. Byte-identical to [`xor_many_into`].
+/// Gather-form multi-source XOR: `dst = fetch(i₀) ^ fetch(i₁) ^ …` for the
+/// given indices, resolved through `fetch` so callers never build a
+/// per-operation `Vec<&[u8]>`. This is the schedule executor's kernel:
+/// overwrite semantics (the first source group is written with a set-form
+/// kernel — `dst` is never pre-copied or pre-zeroed), cache-sized tiles,
+/// and up to eight sources folded per pass. With no indices, `dst` is
+/// zeroed.
+pub(crate) fn xor_gather_into<'a, I: Copy, F>(dst: &mut [u8], indices: &[I], fetch: F)
+where
+    F: Fn(I) -> &'a [u8],
+{
+    xor_gather_tiled(dst, indices, fetch, TILE_BYTES);
+}
+
+/// XOR all `sources` into `dst` with multi-source unrolling: up to eight
+/// sources are folded per pass in `u64` lanes, and the block is processed
+/// in cache-sized tiles so the destination stays hot while the sources
+/// stream through. Overwrites `dst` (no pre-zeroing pass); with no sources,
+/// `dst` becomes all-zero. Byte-identical to [`xor_many_into`].
 pub fn xor_many_into_unrolled(dst: &mut [u8], sources: &[&[u8]]) {
     xor_gather_into(dst, sources, |s| s);
+}
+
+/// [`xor_many_into_unrolled`] with a caller-chosen tile size. Benchmark
+/// tuning hook for [`TILE_BYTES`] — production callers should use
+/// [`xor_many_into_unrolled`] (or the schedule executor), which bake in the
+/// tuned default. `tile_bytes` is clamped to at least 8.
+pub fn xor_many_into_tiled(dst: &mut [u8], sources: &[&[u8]], tile_bytes: usize) {
+    xor_gather_tiled(dst, sources, |s| s, tile_bytes);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Reference semantics: zero, then accumulate one source at a time.
+    fn xor_many_naive(dst: &mut [u8], sources: &[&[u8]]) {
+        dst.fill(0);
+        for src in sources {
+            assert_eq!(dst.len(), src.len());
+            for (d, s) in dst.iter_mut().zip(*src) {
+                *d ^= s;
+            }
+        }
+    }
 
     #[test]
     fn xor_roundtrip() {
@@ -196,6 +507,23 @@ mod tests {
         let mut d = vec![0xAA; 16];
         xor_many_into(&mut d, &[]);
         assert!(d.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn xor_many_overwrites_stale_destination() {
+        // Overwrite semantics must hold on every source-count path (empty,
+        // single-copy, set2-opening): stale bytes in dst never leak through.
+        for n_sources in 0..=5usize {
+            let srcs: Vec<Vec<u8>> = (0..n_sources)
+                .map(|k| (0..33u32).map(|i| ((i + k as u32) * 31) as u8).collect())
+                .collect();
+            let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
+            let mut d = vec![0x5Au8; 33];
+            xor_many_into(&mut d, &refs);
+            let mut expect = vec![0u8; 33];
+            xor_many_naive(&mut expect, &refs);
+            assert_eq!(d, expect, "n_sources={n_sources}");
+        }
     }
 
     #[test]
@@ -233,9 +561,10 @@ mod tests {
 
     #[test]
     fn unrolled_matches_naive_for_all_source_counts() {
-        // Cover every remainder branch (0..=3 after the 4-wide quads) and
-        // odd lengths that exercise the scalar tails.
-        for n_sources in 0..=9usize {
+        // 0..=20 sources covers: the empty/copy/set2/set4/set8 opening
+        // groups, full 8-wide accumulate folds, and every 0..=7 remainder
+        // branch after them. Odd lengths exercise the scalar tails.
+        for n_sources in 0..=20usize {
             for len in [0usize, 1, 7, 8, 33, 257] {
                 let srcs: Vec<Vec<u8>> = (0..n_sources)
                     .map(|k| {
@@ -246,10 +575,13 @@ mod tests {
                     .collect();
                 let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
                 let mut naive = vec![0xAB; len];
-                xor_many_into(&mut naive, &refs);
+                xor_many_naive(&mut naive, &refs);
                 let mut unrolled = vec![0xCD; len];
                 xor_many_into_unrolled(&mut unrolled, &refs);
                 assert_eq!(naive, unrolled, "n_sources={n_sources} len={len}");
+                let mut simple = vec![0xEF; len];
+                xor_many_into(&mut simple, &refs);
+                assert_eq!(naive, simple, "n_sources={n_sources} len={len}");
             }
         }
     }
@@ -266,10 +598,33 @@ mod tests {
             .collect();
         let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
         let mut naive = vec![0u8; len];
-        xor_many_into(&mut naive, &refs);
+        xor_many_naive(&mut naive, &refs);
         let mut unrolled = vec![0u8; len];
         xor_many_into_unrolled(&mut unrolled, &refs);
         assert_eq!(naive, unrolled);
+    }
+
+    #[test]
+    fn tiled_variant_matches_for_extreme_tile_sizes() {
+        // Tiny tiles (clamped to 8), sub-block tiles, and tiles larger than
+        // the whole block must all agree — the bench sweep relies on every
+        // tile size being correct.
+        let len = 3 * 1024 + 13;
+        let srcs: Vec<Vec<u8>> = (0..11)
+            .map(|k| {
+                (0..len as u32)
+                    .map(|i| (i.wrapping_mul(2 * k + 9) >> 2) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(std::vec::Vec::as_slice).collect();
+        let mut naive = vec![0u8; len];
+        xor_many_naive(&mut naive, &refs);
+        for tile in [1usize, 8, 64, 1024, len, len * 4] {
+            let mut out = vec![0x77u8; len];
+            xor_many_into_tiled(&mut out, &refs, tile);
+            assert_eq!(naive, out, "tile={tile}");
+        }
     }
 
     #[test]

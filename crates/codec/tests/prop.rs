@@ -1,9 +1,33 @@
 //! Property-based tests for the byte engine: XOR kernel algebra, stripe
 //! storage, and encoder equivalences under random payloads.
 
-use dcode_codec::xor::{xor_into, xor_into_from, xor_many_into};
+use dcode_codec::xor::{
+    xor_into, xor_into_from, xor_many_into, xor_many_into_tiled, xor_many_into_unrolled,
+};
 use dcode_codec::{encode, encode_parallel, encode_with_matrix, generator_matrix, Stripe};
 use proptest::prelude::*;
+
+/// Scalar reference: fold all sources into a fresh buffer, byte by byte.
+fn xor_many_scalar(len: usize, sources: &[&[u8]]) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    for s in sources {
+        for (d, &b) in out.iter_mut().zip(s.iter()) {
+            *d ^= b;
+        }
+    }
+    out
+}
+
+fn pseudo_sources(len: usize, seeds: &[u64]) -> Vec<Vec<u8>> {
+    seeds
+        .iter()
+        .map(|&s| {
+            (0..len)
+                .map(|i| (s.wrapping_mul(i as u64 | 1) >> 9) as u8)
+                .collect()
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -61,6 +85,38 @@ proptest! {
         let mut d2 = a.clone();
         xor_into(&mut d2, &b);
         prop_assert_eq!(d1, d2);
+    }
+
+    /// `xor_many_into` overwrites the destination: whatever garbage is in
+    /// `dst` beforehand, the result is exactly the scalar fold of the
+    /// sources. Exercises every fold tier (8/4/2/1) and odd tails — source
+    /// counts up to 20, lengths not multiples of 8.
+    #[test]
+    fn xor_many_overwrites_dst(len in 0usize..600,
+                               seeds in prop::collection::vec(any::<u64>(), 0..=20),
+                               garbage in any::<u8>()) {
+        let sources = pseudo_sources(len, &seeds);
+        let refs: Vec<&[u8]> = sources.iter().map(std::vec::Vec::as_slice).collect();
+        let mut d = vec![garbage; len];
+        xor_many_into(&mut d, &refs);
+        prop_assert_eq!(d, xor_many_scalar(len, &refs));
+    }
+
+    /// The unrolled and tiled gather variants are byte-identical to
+    /// `xor_many_into` for any tile size, source count, and tail length.
+    #[test]
+    fn xor_many_variants_agree(len in 0usize..600,
+                               seeds in prop::collection::vec(any::<u64>(), 0..=20),
+                               tile in 1usize..2048) {
+        let sources = pseudo_sources(len, &seeds);
+        let refs: Vec<&[u8]> = sources.iter().map(std::vec::Vec::as_slice).collect();
+        let expect = xor_many_scalar(len, &refs);
+        let mut unrolled = vec![0xAAu8; len];
+        xor_many_into_unrolled(&mut unrolled, &refs);
+        prop_assert_eq!(&unrolled, &expect);
+        let mut tiled = vec![0x55u8; len];
+        xor_many_into_tiled(&mut tiled, &refs, tile);
+        prop_assert_eq!(&tiled, &expect);
     }
 
     /// Stripe data roundtrip for random payload lengths (with padding).

@@ -81,6 +81,12 @@ pub struct CodeLayout {
     /// Equation indices in an order where every parity is computed after all
     /// parities it depends on (topological order).
     encode_order: Vec<usize>,
+    /// Structural hash over name, prime, grid, equations, and logical order,
+    /// computed once at build time. Two layouts with equal fingerprints are
+    /// byte-for-byte the same code for every consumer in the workspace, so
+    /// caches (e.g. the codec's `ScheduleCache`) may key on it instead of
+    /// deep-comparing equation lists.
+    fingerprint: u64,
 }
 
 impl CodeLayout {
@@ -160,6 +166,17 @@ impl CodeLayout {
     /// Equation indices in a valid encode order (dependencies first).
     pub fn encode_order(&self) -> &[usize] {
         &self.encode_order
+    }
+
+    /// Structural fingerprint of this layout, computed once at build time.
+    ///
+    /// Hashes the name, prime, grid geometry, every equation (kind, parity,
+    /// members in order), and the logical data ordering with FNV-1a. Layouts
+    /// that fingerprint equal describe the same code to every consumer, so
+    /// this is a sound (and cheap) cache key for compiled artifacts such as
+    /// the codec's XOR schedules.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Group equation indices into dependency *levels*: an equation whose
@@ -374,6 +391,28 @@ impl LayoutBuilder {
                 }
             }
         }
+        // Structural fingerprint: FNV-1a over everything a consumer can
+        // observe about the code. Derived indexes (kinds, member_eqs,
+        // encode_order) are functions of the hashed inputs, so they add no
+        // information and are skipped.
+        let mut fp = Fnv1a::new();
+        fp.bytes(self.name.as_bytes());
+        fp.word(self.prime as u64);
+        fp.word(grid.rows as u64);
+        fp.word(grid.cols as u64);
+        fp.word(self.equations.len() as u64);
+        for eq in &self.equations {
+            fp.word(eq.kind as u64);
+            fp.word(grid.index(eq.parity) as u64);
+            fp.word(eq.members.len() as u64);
+            for &m in &eq.members {
+                fp.word(grid.index(m) as u64);
+            }
+        }
+        fp.word(data_cells.len() as u64);
+        for &c in &data_cells {
+            fp.word(grid.index(c) as u64);
+        }
         Ok(CodeLayout {
             name: self.name,
             prime: self.prime,
@@ -384,7 +423,34 @@ impl LayoutBuilder {
             logical_of,
             member_eqs,
             encode_order,
+            fingerprint: fp.finish(),
         })
+    }
+}
+
+/// Minimal 64-bit FNV-1a hasher for the layout fingerprint. Self-contained
+/// so the fingerprint is stable across Rust releases (unlike
+/// `DefaultHasher`, whose algorithm is unspecified).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -415,6 +481,28 @@ mod tests {
         assert_eq!(l.logical_to_cell(2), Cell::new(1, 0));
         assert_eq!(l.logical_of(Cell::new(1, 1)), Some(3));
         assert_eq!(l.logical_of(Cell::new(0, 2)), None);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        // Rebuilding the identical layout yields the identical fingerprint.
+        assert_eq!(toy().fingerprint(), toy().fingerprint());
+        // Any observable difference — name, prime, geometry, equation shape —
+        // changes it.
+        let mut renamed = LayoutBuilder::new("toy2", 3, 2, 3);
+        let mut reprimed = LayoutBuilder::new("toy", 5, 2, 3);
+        for b in [&mut renamed, &mut reprimed] {
+            for r in 0..2 {
+                b.equation(
+                    EquationKind::Row,
+                    Cell::new(r, 2),
+                    vec![Cell::new(r, 0), Cell::new(r, 1)],
+                );
+            }
+        }
+        let fp = toy().fingerprint();
+        assert_ne!(fp, renamed.build().unwrap().fingerprint());
+        assert_ne!(fp, reprimed.build().unwrap().fingerprint());
     }
 
     #[test]

@@ -46,27 +46,28 @@ pub fn run_workload(layout: &CodeLayout, ops: &[Op]) -> SimResult {
     }
 }
 
-/// [`run_workload`] fanned out over crossbeam scoped threads — ops are
-/// independent, so each worker accounts a chunk and the per-disk counters
+/// [`run_workload`] fanned out over the persistent worker pool — ops are
+/// independent, so each job accounts a chunk and the per-disk counters
 /// are summed. Identical results to the sequential version; used by the
-/// large parameter sweeps.
+/// large parameter sweeps. The requested `threads` is clamped to the
+/// host's available parallelism (no thread is spawned per call — jobs go
+/// to [`minipool::global`]'s parked workers).
 pub fn run_workload_parallel(layout: &CodeLayout, ops: &[Op], threads: usize) -> SimResult {
-    let threads = threads.max(1);
+    let threads = minipool::effective_parallelism(threads);
     if threads == 1 || ops.len() < 64 {
         return run_workload(layout, ops);
     }
     let chunk = ops.len().div_ceil(threads);
-    let partials: Vec<DiskAccesses> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = ops
-            .chunks(chunk)
-            .map(|part| scope.spawn(move |_| run_workload(layout, part).accesses))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sim worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed");
+    let shared = std::sync::Arc::new(layout.clone());
+    let jobs: Vec<_> = ops
+        .chunks(chunk)
+        .map(|part| {
+            let part: Vec<Op> = part.to_vec();
+            let layout = std::sync::Arc::clone(&shared);
+            move || run_workload(&layout, &part).accesses
+        })
+        .collect();
+    let partials: Vec<DiskAccesses> = minipool::global().run(jobs);
     let mut acc = DiskAccesses::zero(layout.disks());
     for p in &partials {
         acc.add_scaled(p, 1);

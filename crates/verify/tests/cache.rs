@@ -1,0 +1,77 @@
+//! Symbolic proofs for the schedule cache: the programs the cache hands
+//! out are GF(2)-equivalent to the generator matrices, and steady-state
+//! fetches are pointer-identical (no recompilation) — so the hot path's
+//! correctness rests on exactly one verified compile per key.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dcode_baselines::registry::{build, ALL_CODES};
+use dcode_codec::ScheduleCache;
+use dcode_core::grid::Cell;
+use dcode_verify::{verify_encode_program, verify_plan_program};
+
+#[test]
+fn cached_encode_programs_prove_equivalent_and_stable() {
+    let cache = ScheduleCache::new();
+    for &id in &ALL_CODES {
+        let layout = build(id, 7).unwrap();
+        let program = cache.encode_program(&layout);
+        let diags = verify_encode_program(&layout, &program);
+        assert!(diags.is_empty(), "{} p=7: {diags:#?}", id.name());
+        // A second fetch must be the very same compilation.
+        let again = cache.encode_program(&layout);
+        assert!(Arc::ptr_eq(&program, &again), "{} recompiled", id.name());
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, ALL_CODES.len() as u64);
+    assert_eq!(stats.hits, ALL_CODES.len() as u64);
+}
+
+#[test]
+fn cached_column_recoveries_prove_equivalent_and_stable() {
+    let cache = ScheduleCache::new();
+    for &id in &ALL_CODES {
+        let layout = build(id, 7).unwrap();
+        let grid = layout.grid();
+        for cols in [&[1usize][..], &[0, 2][..]] {
+            let compiled = cache.column_program(&layout, cols).unwrap();
+            let erased: BTreeSet<Cell> = cols.iter().flat_map(|&c| grid.column(c)).collect();
+            let diags = verify_plan_program(&layout, &compiled.program, &erased);
+            assert!(diags.is_empty(), "{} cols={cols:?}: {diags:#?}", id.name());
+            let again = cache.column_program(&layout, cols).unwrap();
+            assert!(
+                Arc::ptr_eq(&compiled.program, &again.program),
+                "{} cols={cols:?} recompiled",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_subprograms_prove_equivalent_and_stable() {
+    // A degraded read of one lost column under a double erasure: the
+    // subprogram must restore exactly the missing cells from an intended
+    // state where only those cells are zeroed.
+    let cache = ScheduleCache::new();
+    for &id in &ALL_CODES {
+        let layout = build(id, 7).unwrap();
+        let grid = layout.grid();
+        let cols = [0usize, 2];
+        let missing: BTreeSet<Cell> = grid.column(0).collect();
+        let compiled = cache
+            .recovery_subprogram(&layout, cols.iter().copied(), &missing)
+            .unwrap();
+        let diags = verify_plan_program(&layout, &compiled.program, &missing);
+        assert!(diags.is_empty(), "{} p=7: {diags:#?}", id.name());
+        let again = cache
+            .recovery_subprogram(&layout, cols.iter().copied(), &missing)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&compiled.program, &again.program),
+            "{} subprogram recompiled",
+            id.name()
+        );
+    }
+}

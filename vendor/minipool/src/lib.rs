@@ -1,0 +1,368 @@
+#![warn(missing_docs)]
+//! Minimal persistent worker pool.
+//!
+//! The codec's parallel executors used to pay a thread spawn + join for
+//! every call (`crossbeam::thread::scope` per stripe, per dependency
+//! level). A full-stripe encode is a few hundred microseconds of XOR;
+//! four `pthread_create`s per call is a measurable fraction of that, and
+//! it is pure overhead in steady state. This crate replaces per-call
+//! spawning with a pool of **parked, reusable worker threads**: submit a
+//! batch of jobs, workers wake, run them, and go back to sleep.
+//!
+//! Design constraints, in order:
+//!
+//! * **No `unsafe`.** The workspace is `forbid(unsafe_code)`. A safe pool
+//!   cannot lend borrowed data to threads that outlive the call, so jobs
+//!   are `'static`: callers move owned data in (detached target blocks,
+//!   whole stripes) and share read-only state via [`std::sync::Arc`].
+//!   Every result is handed back through a typed channel, so the
+//!   *happens-before* edge of the last result also proves all job-held
+//!   `Arc` clones are dropped — callers can `Arc::get_mut`/`try_unwrap`
+//!   right after [`WorkerPool::run`] returns.
+//! * **Panic propagation without poisoning.** A panicking job is caught in
+//!   the worker (`catch_unwind`), its payload is shipped back, and the
+//!   submitting call re-raises it via `resume_unwind` after the batch
+//!   drains — the worker thread itself survives and the pool stays
+//!   usable. The queue mutex is never held while a job runs, so job
+//!   panics cannot poison it.
+//! * **Deterministic shutdown.** Dropping a [`WorkerPool`] closes the
+//!   queue and joins every worker. The [`global`] pool is never dropped;
+//!   its parked workers die with the process.
+//!
+//! Jobs must not submit to the pool they run on (a worker blocking on its
+//! own queue can deadlock once every worker does it). The executors in
+//! this workspace only ever submit from non-pool threads.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased unit of work as stored on the queue.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between the pool handle and its workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A pool of parked worker threads executing batches of jobs.
+///
+/// Workers are spawned lazily: [`WorkerPool::run`] grows the pool to the
+/// batch size (capped at [`MAX_WORKERS`]), so a pool sized by its biggest
+/// batch is reused by every later call at zero spawn cost.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Hard cap on pool size — a backstop against runaway fan-out requests,
+/// far above any sensible XOR parallelism.
+pub const MAX_WORKERS: usize = 256;
+
+impl WorkerPool {
+    /// An empty pool; workers are added by [`WorkerPool::ensure_workers`]
+    /// or on demand by [`WorkerPool::run`].
+    pub fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                }),
+                available: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A pool pre-grown to `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        let pool = WorkerPool::new();
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// Number of worker threads currently alive.
+    pub fn workers(&self) -> usize {
+        self.workers.lock().expect("pool worker list").len()
+    }
+
+    /// Grow the pool to at least `n` workers (capped at [`MAX_WORKERS`]).
+    /// Never shrinks: parked workers cost one blocked OS thread each.
+    pub fn ensure_workers(&self, n: usize) {
+        let n = n.min(MAX_WORKERS);
+        let mut workers = self.workers.lock().expect("pool worker list");
+        while workers.len() < n {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("minipool-{}", workers.len()))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            workers.push(handle);
+        }
+    }
+
+    /// Run a batch of jobs to completion and return their results in
+    /// submission order.
+    ///
+    /// The calling thread blocks until every job has finished. A batch of
+    /// one runs inline on the caller (no queue round-trip). If any job
+    /// panicked, the panic of the lowest-indexed failing job is re-raised
+    /// here — after the whole batch has drained, so the pool is left
+    /// clean and reusable.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            let mut jobs = jobs;
+            return vec![(jobs.pop().expect("one job"))()];
+        }
+        self.ensure_workers(n);
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut state = self.shared.state.lock().expect("pool queue");
+            for (i, job) in jobs.into_iter().enumerate() {
+                let tx = tx.clone();
+                state.jobs.push_back(Box::new(move || {
+                    // The job (and everything it owns, including Arc
+                    // clones of shared state) is consumed and dropped
+                    // *before* the send, so receiving the result proves
+                    // the job's borrows-via-Arc are gone.
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    let _ = tx.send((i, result));
+                }));
+            }
+        }
+        self.shared.available.notify_all();
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+        for _ in 0..n {
+            let (i, result) = rx.recv().expect("pool worker lost a result");
+            match result {
+                Ok(value) => out[i] = Some(value),
+                Err(payload) => {
+                    if first_panic.as_ref().map_or(true, |(j, _)| i < *j) {
+                        first_panic = Some((i, payload));
+                    }
+                }
+            }
+        }
+        if let Some((_, payload)) = first_panic {
+            resume_unwind(payload);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every job reported a result"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool queue");
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool worker list"));
+        for handle in workers {
+            // A worker cannot panic outside a job (jobs are caught), so a
+            // failed join here means the runtime is already unwinding.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool queue");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool queue");
+            }
+        };
+        // Belt and braces: the submission wrapper already catches panics;
+        // this keeps the worker alive even if a wrapper is bypassed.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// The process-wide shared pool used by the codec's parallel executors.
+/// Grown on demand by each batch, never dropped.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(WorkerPool::new)
+}
+
+/// Number of hardware threads available to this process (cached; 1 if
+/// unknown).
+pub fn host_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Clamp a requested thread count to what the host can actually run in
+/// parallel. Fanning CPU-bound XOR out over more workers than cores only
+/// adds queueing overhead — on a single-core host this returns 1 and the
+/// executors fall back to their sequential paths.
+pub fn effective_parallelism(requested: usize) -> usize {
+    requested.max(1).min(host_parallelism())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new();
+        let jobs: Vec<_> = (0..16u64).map(|i| move || i * i).collect();
+        assert_eq!(
+            pool.run(jobs),
+            (0..16u64).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shared_state_is_released_by_batch_completion() {
+        // The documented contract: once run() returns, no worker holds an
+        // Arc clone passed into the jobs, so get_mut succeeds.
+        let pool = WorkerPool::new();
+        let mut data = Arc::new(vec![1u64, 2, 3, 4]);
+        let jobs: Vec<_> = (0..4)
+            .map(|i| {
+                let data = Arc::clone(&data);
+                move || data[i] * 10
+            })
+            .collect();
+        assert_eq!(pool.run(jobs), vec![10, 20, 30, 40]);
+        assert!(
+            Arc::get_mut(&mut data).is_some(),
+            "workers released the Arc"
+        );
+    }
+
+    #[test]
+    fn pool_grows_to_batch_size_and_is_reused() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.workers(), 0);
+        pool.run((0..6).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(pool.workers(), 6);
+        pool.run((0..3).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(pool.workers(), 6, "smaller batches do not shrink the pool");
+    }
+
+    #[test]
+    fn single_job_runs_inline_without_workers() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.run(vec![|| 7u32]), vec![7]);
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_submitter() {
+        let pool = WorkerPool::with_workers(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| 1u32) as Box<dyn FnOnce() -> u32 + Send>,
+                Box::new(|| panic!("job exploded")),
+            ]);
+        }))
+        .expect_err("panic must propagate");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload preserved");
+        assert_eq!(msg, "job exploded");
+    }
+
+    #[test]
+    fn panic_does_not_poison_the_pool() {
+        let pool = WorkerPool::with_workers(2);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| panic!("first batch dies")) as Box<dyn FnOnce() + Send>,
+                Box::new(|| {}),
+            ]);
+        }));
+        // The same workers serve the next batch.
+        let jobs: Vec<_> = (0..4u32).map(|i| move || i + 1).collect();
+        assert_eq!(pool.run(jobs), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn earliest_submitted_panic_wins() {
+        let pool = WorkerPool::with_workers(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| panic!("first")) as Box<dyn FnOnce() + Send>,
+                Box::new(|| panic!("second")),
+            ]);
+        }))
+        .expect_err("panic must propagate");
+        assert_eq!(caught.downcast_ref::<&str>().copied(), Some("first"));
+    }
+
+    #[test]
+    fn drop_joins_every_worker() {
+        let pool = WorkerPool::with_workers(4);
+        let shared = Arc::downgrade(&pool.shared);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        drop(pool);
+        // Every worker held an Arc<Shared>; all joined means all released.
+        assert!(shared.upgrade().is_none(), "drop joined all workers");
+    }
+
+    #[test]
+    fn worker_cap_is_enforced() {
+        let pool = WorkerPool::new();
+        pool.ensure_workers(MAX_WORKERS + 50);
+        assert_eq!(pool.workers(), MAX_WORKERS);
+        drop(pool);
+    }
+
+    #[test]
+    fn effective_parallelism_clamps() {
+        assert_eq!(effective_parallelism(0), 1);
+        assert!(effective_parallelism(usize::MAX) <= host_parallelism());
+        assert_eq!(effective_parallelism(1), 1);
+    }
+}
