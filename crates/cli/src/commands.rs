@@ -223,6 +223,11 @@ pub fn status(dir: &Path) -> Result<String, CliError> {
     for (d, probe) in probes.iter().enumerate() {
         out.push_str(&format!("  disk {d}: {probe}\n"));
     }
+    let cache = dcode_codec::schedule_stats();
+    out.push_str(&format!(
+        "schedule cache: {} hit(s) / {} miss(es) (this process)\n",
+        cache.hits, cache.misses
+    ));
     Ok(out)
 }
 
@@ -331,6 +336,83 @@ pub fn verify(code: Option<CodeId>, p: Option<usize>, all: bool) -> Result<Strin
     }
     out.push_str("all programs verified: symbolically equivalent, hazard-free, lint-clean");
     Ok(out)
+}
+
+/// `analyze`: static cost, I/O-footprint, critical-path, and peephole
+/// analysis of the compiled schedules of one code (or the whole registry
+/// over [`VERIFY_PRIMES`]), with the measurements checked against the
+/// paper's closed-form claims. With `--assert-claims` any claim miss or
+/// lint finding is a hard failure (exit code 3) — how the CI `analyze`
+/// job uses it. With `--json` the reports render as a JSON array; on an
+/// asserted failure the JSON still goes to stdout so a piped CI artifact
+/// survives the failing exit.
+pub fn analyze(
+    code: Option<CodeId>,
+    p: Option<usize>,
+    all: bool,
+    assert_claims: bool,
+    json: bool,
+) -> Result<String, CliError> {
+    let targets: Vec<(CodeId, usize)> = if all {
+        dcode_baselines::registry::ALL_CODES
+            .iter()
+            .flat_map(|&id| VERIFY_PRIMES.iter().map(move |&p| (id, p)))
+            .collect()
+    } else {
+        let code = code.ok_or_else(|| {
+            CliError::Usage("analyze needs --code NAME (or --all for the whole registry)".into())
+        })?;
+        vec![(code, p.unwrap_or(7))]
+    };
+
+    let mut reports = Vec::new();
+    for (id, p) in targets {
+        let layout = dcode_baselines::registry::build(id, p)
+            .map_err(|e| CliError::Usage(format!("cannot build {} at p={p}: {e}", id.name())))?;
+        reports.push(dcode_analyze::analyze_layout(&layout));
+    }
+    let dirty: Vec<String> = reports
+        .iter()
+        .filter(|r| !r.is_clean())
+        .map(|r| format!("{} p={}", r.code, r.p))
+        .collect();
+
+    let body = if json {
+        let items: Vec<String> = reports
+            .iter()
+            .map(dcode_analyze::AnalysisReport::to_json)
+            .collect();
+        format!("[{}]", items.join(",\n "))
+    } else {
+        let mut s = reports
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        s.push_str(&format!(
+            "\n{} report(s): {} clean, {} not clean",
+            reports.len(),
+            reports.len() - dirty.len(),
+            dirty.len()
+        ));
+        s
+    };
+    if assert_claims && !dirty.is_empty() {
+        if json {
+            println!("{body}");
+        }
+        return Err(CliError::State(format!(
+            "{}analysis FAILED for {} report(s): {}",
+            if json {
+                String::new()
+            } else {
+                format!("{body}\n")
+            },
+            dirty.len(),
+            dirty.join(", ")
+        )));
+    }
+    Ok(body)
 }
 
 /// `scrub`: verify every stripe's parities, localizing and repairing
@@ -532,6 +614,40 @@ mod tests {
             verify(Some(CodeId::DCode), Some(9), false),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn analyze_command_checks_claims_and_rejects_bad_input() {
+        let out = analyze(Some(CodeId::DCode), Some(7), false, true, false).unwrap();
+        assert!(out.contains("D-Code p=7"), "{out}");
+        assert!(out.contains("verdict:  clean"), "{out}");
+        assert!(out.contains("encode XORs per data element"), "{out}");
+        assert!(out.contains("1 report(s): 1 clean, 0 not clean"), "{out}");
+        // JSON mode: one object per report, machine-checkable fields.
+        let json = analyze(Some(CodeId::Rdp), Some(7), false, true, true).unwrap();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"write_lf\": \"inf\""), "{json}");
+        // No code and no --all is a usage error; non-prime p fails to build.
+        assert!(matches!(
+            analyze(None, None, false, false, false),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            analyze(Some(CodeId::DCode), Some(9), false, false, false),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn status_reports_schedule_cache_counters() {
+        let (root, input, _) = setup("cachestats");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 512).unwrap();
+        let out = status(&dir).unwrap();
+        assert!(out.contains("schedule cache:"), "{out}");
+        assert!(out.contains("miss(es) (this process)"), "{out}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -38,6 +38,10 @@ USAGE:
   dcode layout <code-name> [--p N]     # print a code's layout and spec
   dcode verify [--code NAME] [--p N]   # statically verify compiled schedules
   dcode verify --all                   # …for every code at p in {5,7,11,13,17}
+  dcode analyze [--code NAME] [--p N] [--assert-claims] [--json]
+                                       # static cost/IO/parallelism analysis of
+                                       # compiled schedules vs the paper's claims
+  dcode analyze --all                  # …for every code at p in {5,7,11,13,17}
 
 CODES: dcode (default), xcode, rdp, hcode, hdp, evenodd, pcode
 DEFAULTS: --p 7, --block 4096, --repair on, --seed 1, --ops 5000
@@ -56,9 +60,18 @@ fn run() -> Result<String, CliError> {
     let mut flags: Vec<(&str, &str)> = Vec::new();
     let mut i = 1;
     let mut all = false;
+    let mut assert_claims = false;
+    let mut json = false;
     while i < args.len() {
+        // Boolean flags take no value; everything else under `--` does.
         if args[i] == "--all" {
             all = true;
+            i += 1;
+        } else if args[i] == "--assert-claims" {
+            assert_claims = true;
+            i += 1;
+        } else if args[i] == "--json" {
+            json = true;
             i += 1;
         } else if let Some(name) = args[i].strip_prefix("--") {
             let value = args
@@ -176,6 +189,23 @@ fn run() -> Result<String, CliError> {
                 })
                 .transpose()?;
             commands::verify(code, p, all)
+        }
+        "analyze" => {
+            if !positional.is_empty() {
+                return Err(usage(
+                    "analyze takes only --code/--p/--all/--assert-claims/--json flags",
+                ));
+            }
+            let code = flag("code")
+                .map(|name| meta::parse_code(name).map_err(|e| usage(&e)))
+                .transpose()?;
+            let p = flag("p")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| usage("--p must be a prime number"))
+                })
+                .transpose()?;
+            commands::analyze(code, p, all, assert_claims, json)
         }
         other => Err(usage(&format!("unknown command '{other}'"))),
     }

@@ -121,6 +121,15 @@ impl ScheduleCache {
         }
     }
 
+    /// Saturating counter bump: a chaos soak (or any process hot enough to
+    /// wrap a `u64`) pins the counter at `u64::MAX` instead of silently
+    /// restarting the statistics from zero.
+    fn bump(counter: &AtomicU64) {
+        let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_add(1))
+        });
+    }
+
     /// The compiled full-stripe encode program for `layout`. First call per
     /// layout compiles; every later call returns the same `Arc` (verify
     /// with [`Arc::ptr_eq`]).
@@ -129,11 +138,11 @@ impl ScheduleCache {
         {
             let entries = self.lock();
             if let Some(prog) = find_layout(&entries, fp, grid).and_then(|e| e.encode.clone()) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                Self::bump(&self.hits);
                 return prog;
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        Self::bump(&self.misses);
         let compiled = Arc::new(XorProgram::compile_encode(layout));
         let mut entries = self.lock();
         let entry = find_or_insert_layout(&mut entries, fp, grid);
@@ -164,12 +173,12 @@ impl ScheduleCache {
             if let Some(compiled) =
                 find_erasure(&entries, fp, grid, cols_iter.clone()).and_then(|e| e.full.clone())
             {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                Self::bump(&self.hits);
                 return Ok(compiled);
             }
         }
         let plan = self.erasure_plan(layout, cols_iter.clone())?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        Self::bump(&self.misses);
         let compiled = compile_recovery(grid, &plan);
         let mut entries = self.lock();
         let entry = find_erasure_mut(&mut entries, fp, grid, cols_iter)
@@ -200,13 +209,13 @@ impl ScheduleCache {
                     .iter()
                     .find(|s| s.missing.iter().eq(missing.iter()))
                 {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Self::bump(&self.hits);
                     return Ok(sub.compiled.clone());
                 }
             }
         }
         let plan = self.erasure_plan(layout, erased_cols.clone())?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        Self::bump(&self.misses);
         let compiled = compile_recovery(grid, &Arc::new(plan.subplan_for(missing)));
         let mut entries = self.lock();
         let entry = find_erasure_mut(&mut entries, fp, grid, erased_cols)
@@ -287,6 +296,12 @@ impl ScheduleCache {
 pub fn global() -> &'static ScheduleCache {
     static GLOBAL: OnceLock<ScheduleCache> = OnceLock::new();
     GLOBAL.get_or_init(ScheduleCache::new)
+}
+
+/// Hit/miss counters of the process-wide [`global`] cache — the number the
+/// `dcode status` command surfaces.
+pub fn schedule_stats() -> CacheStats {
+    global().stats()
 }
 
 fn find_layout(entries: &[LayoutEntry], fp: u64, grid: Grid) -> Option<&LayoutEntry> {
@@ -480,6 +495,20 @@ mod tests {
         assert!(cache
             .recovery_subprogram(&layout, cols.iter().copied(), &missing)
             .is_err());
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let cache = ScheduleCache::new();
+        let layout = dcode(5).unwrap();
+        let _ = cache.encode_program(&layout); // miss
+        cache.hits.store(u64::MAX, Ordering::Relaxed);
+        let _ = cache.encode_program(&layout); // hit at the ceiling
+        let _ = cache.encode_program(&layout); // and again
+        assert_eq!(cache.stats().hits, u64::MAX, "hit counter must saturate");
+        cache.misses.store(u64::MAX, Ordering::Relaxed);
+        let _ = cache.encode_program(&dcode(7).unwrap()); // miss at the ceiling
+        assert_eq!(cache.stats().misses, u64::MAX, "miss counter must saturate");
     }
 
     #[test]

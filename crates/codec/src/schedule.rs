@@ -58,7 +58,10 @@ impl XorProgram {
         }
         let prog = b.finish();
         #[cfg(debug_assertions)]
-        prog.debug_assert_hazard_free();
+        {
+            prog.debug_assert_hazard_free();
+            prog.debug_assert_peephole_clean();
+        }
         prog
     }
 
@@ -100,7 +103,10 @@ impl XorProgram {
         }
         let prog = b.finish();
         #[cfg(debug_assertions)]
-        prog.debug_assert_hazard_free();
+        {
+            prog.debug_assert_hazard_free();
+            prog.debug_assert_peephole_clean();
+        }
         prog
     }
 
@@ -199,6 +205,32 @@ impl XorProgram {
                     );
                 }
             }
+        }
+    }
+
+    /// Debug-build guard run by the compilers alongside the hazard check:
+    /// no compiled op may be empty, list a source twice, or clone an
+    /// earlier op (same target, same source set). These are exactly the
+    /// cheap structural facets of the peephole lints in `dcode-analyze`;
+    /// the full pass (dead writes, CSE across targets, working-set
+    /// estimates) runs there, where layout context is available.
+    #[cfg(debug_assertions)]
+    fn debug_assert_peephole_clean(&self) {
+        let mut seen: std::collections::BTreeSet<(u32, Vec<u32>)> =
+            std::collections::BTreeSet::new();
+        for op in 0..self.op_count() {
+            let sources = self.op_sources(op);
+            assert!(!sources.is_empty(), "op {op} has no sources");
+            let mut sorted = sources.to_vec();
+            sorted.sort_unstable();
+            assert!(
+                sorted.windows(2).all(|w| w[0] != w[1]),
+                "op {op} lists a source block twice"
+            );
+            assert!(
+                seen.insert((self.targets[op], sorted)),
+                "op {op} is a clone of an earlier op (redundant work)"
+            );
         }
     }
 

@@ -43,6 +43,9 @@ fn direct_parities(layout: &CodeLayout, start: usize, len: usize) -> BTreeSet<Ce
 }
 
 /// Compute sharing statistics for a run length over all start positions.
+///
+/// # Panics
+/// Panics unless `1 <= run_len <= layout.data_len()`.
 pub fn sharing_stats(layout: &CodeLayout, run_len: usize) -> SharingStats {
     assert!(run_len >= 1 && run_len <= layout.data_len());
     let data_len = layout.data_len();

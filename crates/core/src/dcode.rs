@@ -74,6 +74,11 @@ fn check_param(n: usize) -> Result<(), ConstructError> {
 /// ```text
 /// P[n−1][i] = ⊕_{j=0}^{n−3}  D[ ⟨(n−3)/2 · (⟨i−j−2⟩ₙ − j)⟩_{n−2} ][ ⟨i−j−2⟩ₙ ]
 /// ```
+///
+/// # Panics
+/// Never for accepted parameters (invalid `n` returns an error); the
+/// builder's structural validation is an internal-consistency guard on
+/// the closed forms above.
 pub fn dcode(n: usize) -> Result<CodeLayout, ConstructError> {
     check_param(n)?;
     let half = ((n - 3) / 2) as i64;
@@ -141,6 +146,11 @@ pub fn deployment_walk(n: usize) -> Vec<Cell> {
 /// * Deployment group `g` (same split of the deployment walk) stores its XOR
 ///   at `P[n−1][⟨2(g+1)⟩ₙ]` (the paper labels parity columns 2, 4, …, ⟨2n⟩ₙ
 ///   with letters A, B, …).
+///
+/// # Panics
+/// Never for accepted parameters (invalid `n` returns an error); the
+/// builder's structural validation guards the procedure's internal
+/// consistency.
 pub fn dcode_procedural(n: usize) -> Result<CodeLayout, ConstructError> {
     check_param(n)?;
     let mut b = LayoutBuilder::new("D-Code", n, n, n);
@@ -183,6 +193,11 @@ pub fn dcode_procedural(n: usize) -> Result<CodeLayout, ConstructError> {
 /// Exposed here because the Theorem-1 construction and the correctness
 /// argument need it; the `dcode-baselines` crate re-exports it as the
 /// evaluation baseline.
+///
+/// # Panics
+/// Never for accepted parameters (invalid `n` returns an error); the
+/// builder's structural validation guards the closed forms' internal
+/// consistency.
 pub fn xcode(n: usize) -> Result<CodeLayout, ConstructError> {
     check_param(n)?;
     let mut b = LayoutBuilder::new("X-Code", n, n, n);
@@ -206,6 +221,11 @@ pub fn xcode(n: usize) -> Result<CodeLayout, ConstructError> {
 /// `⟨(n−3)/2 · (j − i)⟩_{n−2}` of the same column; parity rows stay in place.
 /// X-Code's diagonal equations become D-Code's horizontal equations and its
 /// anti-diagonals become deployment equations.
+///
+/// # Panics
+/// Never for accepted parameters (invalid `n` returns an error); the
+/// builder's structural validation guards the relocation's internal
+/// consistency.
 pub fn dcode_via_xcode_reordering(n: usize) -> Result<CodeLayout, ConstructError> {
     let x = xcode(n)?;
     let half = ((n - 3) / 2) as i64;

@@ -141,6 +141,10 @@ impl std::error::Error for Unrecoverable {}
 /// Peels as far as possible; if unknowns remain, runs Gauss-Jordan
 /// elimination over the remaining equations. Fails only if the erasure is
 /// linearly unrecoverable.
+///
+/// # Panics
+/// Panics if `erased` names cells outside the layout's grid; internal
+/// asserts otherwise only guard the peeling bookkeeping's consistency.
 pub fn plan_recovery(
     layout: &CodeLayout,
     erased: &BTreeSet<Cell>,
@@ -305,6 +309,9 @@ pub fn plan_recovery(
 }
 
 /// Plan the reconstruction of whole failed disks.
+///
+/// # Panics
+/// Panics if any entry of `failed_cols` is not a valid disk index.
 pub fn plan_column_recovery(
     layout: &CodeLayout,
     failed_cols: &[usize],

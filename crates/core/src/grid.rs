@@ -40,7 +40,10 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// Create a grid; panics on zero dimensions (a stripe is never empty).
+    /// Create a grid.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions (a stripe is never empty).
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
         Grid { rows, cols }
@@ -85,12 +88,18 @@ impl Grid {
     }
 
     /// Iterate over the cells of one column, top to bottom.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range.
     pub fn column(&self, col: usize) -> impl Iterator<Item = Cell> + '_ {
         assert!(col < self.cols, "column {col} out of range");
         (0..self.rows).map(move |r| Cell::new(r, col))
     }
 
     /// Iterate over the cells of one row, left to right.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
     pub fn row(&self, row: usize) -> impl Iterator<Item = Cell> + '_ {
         assert!(row < self.rows, "row {row} out of range");
         (0..self.cols).map(move |c| Cell::new(row, c))

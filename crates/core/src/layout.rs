@@ -7,6 +7,7 @@
 //! engine (mirroring how the paper implements every code on Jerasure).
 
 use crate::equation::{Equation, EquationKind};
+use crate::fnv::Fnv1a;
 use crate::grid::{Cell, CellKind, Grid};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -425,32 +426,6 @@ impl LayoutBuilder {
             encode_order,
             fingerprint: fp.finish(),
         })
-    }
-}
-
-/// Minimal 64-bit FNV-1a hasher for the layout fingerprint. Self-contained
-/// so the fingerprint is stable across Rust releases (unlike
-/// `DefaultHasher`, whose algorithm is unspecified).
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    fn new() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, data: &[u8]) {
-        for &b in data {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn word(&mut self, w: u64) {
-        self.bytes(&w.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

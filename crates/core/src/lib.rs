@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::missing_panics_doc)]
 //! # dcode-core
 //!
 //! Core machinery and the paper's contribution for the reproduction of
@@ -36,6 +37,7 @@ pub mod analysis;
 pub mod dcode;
 pub mod decoder;
 pub mod equation;
+pub mod fnv;
 pub mod grid;
 pub mod layout;
 pub mod mds;
@@ -48,6 +50,7 @@ pub use analysis::{adjacent_sharing_probability, sharing_stats, SharingStats};
 pub use dcode::{dcode as build_dcode, xcode as build_xcode, ConstructError, PAPER_PRIMES};
 pub use decoder::{plan_column_recovery, plan_recovery, RecoveryPlan, RecoveryStep};
 pub use equation::{Equation, EquationKind};
+pub use fnv::Fnv1a;
 pub use grid::{Cell, CellKind, Grid};
 pub use layout::{CodeLayout, LayoutBuilder, LayoutError};
 pub use mds::{fault_tolerance, verify_mds, MdsViolation};

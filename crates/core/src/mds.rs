@@ -69,6 +69,11 @@ pub fn verify_double_fault_tolerance(layout: &CodeLayout) -> Result<(), MdsViola
 /// * the code stores the information-theoretic maximum of data for a
 ///   2-fault-tolerant array: a `data / total` fraction of exactly
 ///   `(disks − 2) / disks`.
+///
+/// # Panics
+/// Panics if the layout is fault-tolerant but not storage-optimal — a
+/// structurally different defect than the recoverability failures the
+/// `Err` variant reports (the registry never constructs such a layout).
 pub fn verify_mds(layout: &CodeLayout) -> Result<(), MdsViolation> {
     verify_single_fault_tolerance(layout)?;
     verify_double_fault_tolerance(layout)?;
@@ -138,8 +143,11 @@ pub fn fault_tolerance(layout: &CodeLayout) -> usize {
 }
 
 /// Confirm that a *deliberately broken* layout is caught: used by tests to
-/// make sure the checker has teeth. Returns the violation, panicking if the
-/// layout unexpectedly verifies.
+/// make sure the checker has teeth.
+///
+/// # Panics
+/// Panics if the layout unexpectedly passes verification — for this
+/// helper, a *passing* check is the failure being tested for.
 pub fn expect_violation(layout: &CodeLayout) -> MdsViolation {
     match verify_double_fault_tolerance(layout) {
         Ok(()) => panic!(

@@ -58,6 +58,10 @@ pub fn encode_xors_per_data_element(layout: &CodeLayout) -> f64 {
 /// Average XORs per lost element, over every double-column failure.
 /// The optimum for an `n`-disk RAID-6 vertical code is `n − 3` per element
 /// (H-Code paper), attained by X-Code and D-Code.
+///
+/// # Panics
+/// Panics if some 2-column erasure is unrecoverable — only measure
+/// layouts that pass MDS verification.
 pub fn decode_xors_per_lost_element(layout: &CodeLayout) -> f64 {
     let disks = layout.disks();
     let mut total_xors = 0usize;

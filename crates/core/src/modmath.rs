@@ -37,7 +37,8 @@ pub fn is_prime(n: usize) -> bool {
 
 /// Modular multiplicative inverse of `a` modulo prime `p` (Fermat).
 ///
-/// Panics if `a ≡ 0 (mod p)`.
+/// # Panics
+/// Panics if `p` is not prime or `a ≡ 0 (mod p)`.
 pub fn inv_mod_prime(a: usize, p: usize) -> usize {
     assert!(is_prime(p), "{p} is not prime");
     let a = a % p;

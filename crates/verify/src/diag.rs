@@ -113,6 +113,36 @@ pub enum DiagKind {
         /// The earliest level its dependencies allow.
         earliest: usize,
     },
+    /// Peephole: an op recomputes the exact XOR expression an earlier op
+    /// already produced (and none of the shared sources were rewritten in
+    /// between) — a common-subexpression-elimination opportunity.
+    DuplicateExpression {
+        /// The op doing the redundant recomputation.
+        op: usize,
+        /// The earlier op that already computed the same value.
+        earlier_op: usize,
+    },
+    /// Peephole: an op's result is never read by any later op, never
+    /// overwritten, and is not one of the program's expected output blocks
+    /// — a dead scratch write.
+    UnreadResult {
+        /// The op computing the unused value.
+        op: usize,
+        /// The linear block index it writes.
+        block: usize,
+    },
+    /// Peephole: replaying one dependency level's widest gather touches
+    /// more bytes than the working-set budget, so the tiled kernel's
+    /// blocks no longer fit cache together.
+    OversizedWorkingSet {
+        /// The dependency level.
+        level: usize,
+        /// Estimated working set in bytes (widest gather + its target,
+        /// one tile each).
+        bytes: usize,
+        /// The budget the estimate exceeded.
+        budget: usize,
+    },
     /// MDS rank: an erasure the code must tolerate is symbolically
     /// unrecoverable (the survivor equations do not span the lost cells).
     Unrecoverable {
@@ -231,6 +261,22 @@ impl fmt::Display for Diagnostic {
             } => write!(
                 f,
                 "op {op} sits in level {level} but could run at level {earliest}"
+            ),
+            DiagKind::DuplicateExpression { op, earlier_op } => write!(
+                f,
+                "op {op} recomputes the expression op {earlier_op} already produced"
+            ),
+            DiagKind::UnreadResult { op, block } => write!(
+                f,
+                "op {op} writes block {block}, which nothing reads and no output requires"
+            ),
+            DiagKind::OversizedWorkingSet {
+                level,
+                bytes,
+                budget,
+            } => write!(
+                f,
+                "level {level} needs a ~{bytes}-byte working set (budget {budget})"
             ),
             DiagKind::Unrecoverable { failed, deficiency } => write!(
                 f,
