@@ -51,6 +51,6 @@ pub use chaos::{soak, ChaosConfig, ChaosReport};
 pub use device::ElementIo;
 pub use loadstudy::{lf, physical_loads, StripeSkew};
 pub use objstore::{ObjectStore, StoreError};
-pub use resilient::{ResilientArray, ResilientStats, RetryPolicy, SlotState};
+pub use resilient::{ResilientArray, ResilientStats, RetryPolicy, ScrubSummary, SlotState};
 pub use rotation::RotationScheme;
 pub use scrub::{failing_equations, scrub_stripe, scrub_stripe_dry, ScrubReport};

@@ -123,6 +123,28 @@ impl<D: ElementIo> ObjectStore<D> {
         &mut self.array
     }
 
+    /// The underlying array, read-only (stats snapshots from a server's
+    /// metrics path, which must not perturb disk state).
+    pub fn array(&self) -> &D {
+        &self.array
+    }
+
+    /// Whether an object with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Store an object, replacing any existing object of the same name
+    /// (the server's `put` semantics — [`ObjectStore::put`] rejects
+    /// duplicates, which is right for an archive CLI but wrong for a
+    /// key-value front end).
+    pub fn upsert(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.index.contains_key(name) {
+            self.delete(name)?;
+        }
+        self.put(name, bytes)
+    }
+
     fn block_size(&self) -> usize {
         self.array.element_size()
     }
@@ -293,5 +315,17 @@ mod tests {
         let mut s = new_store();
         s.put("x", &[1]).unwrap();
         assert!(matches!(s.put("x", &[2]), Err(StoreError::Exists(_))));
+    }
+
+    #[test]
+    fn upsert_replaces_and_creates() {
+        let mut s = new_store();
+        s.upsert("k", &[1, 2, 3]).unwrap(); // create
+        assert_eq!(s.get("k").unwrap(), vec![1, 2, 3]);
+        let bigger: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        s.upsert("k", &bigger).unwrap(); // replace with a larger value
+        assert_eq!(s.get("k").unwrap(), bigger);
+        assert!(s.contains("k"));
+        assert_eq!(s.list().len(), 1);
     }
 }

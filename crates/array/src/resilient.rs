@@ -57,6 +57,19 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Virtual backoff charged before retry `attempt`, saturating at
+    /// `u64::MAX` instead of shifting past the bit width: a user-supplied
+    /// `max_retries ≥ 64` used to panic in debug builds (and silently wrap
+    /// the charge to zero in release) at `backoff_base_us << attempt`.
+    fn backoff_us(&self, attempt: usize) -> u64 {
+        u32::try_from(attempt)
+            .ok()
+            .and_then(|a| 1u64.checked_shl(a))
+            .map_or(u64::MAX, |mult| self.backoff_base_us.saturating_mul(mult))
+    }
+}
+
 /// Health of one array slot (a logical position of the code, mapped to a
 /// physical backend disk).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -185,6 +198,41 @@ impl<B: DiskBackend> ResilientArray<B> {
             stats: ResilientStats::default(),
             schedules: ScheduleCache::new(),
         }
+    }
+
+    /// Open an array over a backend that **already holds data** (a server
+    /// restart, a shard directory from an earlier run): geometry checks as
+    /// in [`ResilientArray::format`], then the per-block CRC table is
+    /// seeded by reading every block back from the medium — the content on
+    /// disk is declared the expected content. Any block that cannot be
+    /// read through the retry policy fails the attach; degraded re-opens
+    /// are handled a layer up by formatting a fresh array and rebuilding.
+    pub fn attach(
+        layout: CodeLayout,
+        block_size: usize,
+        n_stripes: usize,
+        rotation: RotationScheme,
+        backend: B,
+        policy: RetryPolicy,
+        fail_threshold: usize,
+    ) -> Result<Self, DiskError> {
+        let mut a = Self::format(
+            layout,
+            block_size,
+            n_stripes,
+            rotation,
+            backend,
+            policy,
+            fail_threshold,
+        );
+        for slot in 0..a.layout.disks() {
+            for block in 0..a.total_blocks() {
+                let buf = a.read_raw(slot, block)?;
+                a.crc[slot][block] = crc32(&buf);
+            }
+        }
+        a.stats = ResilientStats::default();
+        Ok(a)
     }
 
     /// The code this array runs.
@@ -395,7 +443,10 @@ impl<B: DiskBackend> ResilientArray<B> {
                 Ok(()) => return Ok(buf),
                 Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
                     self.stats.retries += 1;
-                    self.stats.backoff_us += self.policy.backoff_base_us << attempt;
+                    self.stats.backoff_us = self
+                        .stats
+                        .backoff_us
+                        .saturating_add(self.policy.backoff_us(attempt));
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -412,7 +463,10 @@ impl<B: DiskBackend> ResilientArray<B> {
                 Ok(()) => return Ok(()),
                 Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
                     self.stats.retries += 1;
-                    self.stats.backoff_us += self.policy.backoff_base_us << attempt;
+                    self.stats.backoff_us = self
+                        .stats
+                        .backoff_us
+                        .saturating_add(self.policy.backoff_us(attempt));
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -567,9 +621,15 @@ impl<B: DiskBackend> ResilientArray<B> {
     }
 
     /// Write `bytes` (a multiple of the block size) starting at logical
-    /// element `start`. Full-stripe read-modify-write: the stripe's data
-    /// is fetched (through parity if degraded), modified, re-encoded, and
-    /// written back — so writes work while degraded and mid-rebuild.
+    /// element `start`. Full-stripe read-modify-write: each touched
+    /// stripe's data is fetched (through parity if degraded), modified,
+    /// re-encoded, and written back — so writes work while degraded and
+    /// mid-rebuild. A write spanning several stripes batches the
+    /// re-encodes through [`encode_stripes_pooled`] on the global worker
+    /// pool: one cached program, stripes encoded in parallel, which is
+    /// what lets a server batch many queued puts into one pooled encode.
+    ///
+    /// [`encode_stripes_pooled`]: dcode_codec::encode_stripes_pooled
     pub fn write(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError> {
         assert!(
             bytes.len() % self.block_size == 0,
@@ -581,31 +641,63 @@ impl<B: DiskBackend> ResilientArray<B> {
         }
         self.locate(start)?;
         self.locate(start + count - 1)?;
+
+        // Split the range into per-stripe segments.
+        let mut segments: Vec<(usize, usize, usize, usize)> = Vec::new(); // (stripe, within, chunk, offset)
         let mut offset = 0;
         let mut element = start;
         while offset < count {
             let (t, within) = self.locate(element).expect("range checked");
-            let room = self.layout.data_len() - within;
-            let chunk = room.min(count - offset);
-            self.write_stripe_segment(
+            let chunk = (self.layout.data_len() - within).min(count - offset);
+            segments.push((t, within, chunk, offset));
+            offset += chunk;
+            element += chunk;
+        }
+
+        // Fetch-and-patch every touched stripe, then re-encode the whole
+        // batch in one pooled call, then persist. Segments are disjoint
+        // stripes, so the phases commute with the sequential order.
+        let mut scratches = Vec::with_capacity(segments.len());
+        for &(t, within, chunk, off) in &segments {
+            let mut scratch = self.fetch_and_patch(
                 t,
                 within,
                 chunk,
-                &bytes[offset * self.block_size..(offset + chunk) * self.block_size],
+                &bytes[off * self.block_size..(off + chunk) * self.block_size],
             )?;
-            offset += chunk;
-            element += chunk;
+            if segments.len() == 1 {
+                // Single stripe: encode inline, skip the batching machinery.
+                self.schedules
+                    .encode_program(&self.layout)
+                    .run(&mut scratch);
+            }
+            scratches.push(scratch);
+        }
+        if segments.len() > 1 {
+            let program = self.schedules.encode_program(&self.layout);
+            let threads = minipool::effective_parallelism(scratches.len());
+            dcode_codec::encode_stripes_pooled(
+                &program,
+                &mut scratches,
+                minipool::global(),
+                threads,
+            );
+        }
+        for (&(t, within, chunk, _), scratch) in segments.iter().zip(&scratches) {
+            self.persist_segment(t, within, chunk, scratch);
         }
         Ok(())
     }
 
-    fn write_stripe_segment(
+    /// Fetch one stripe's full data (through parity if degraded) and patch
+    /// `chunk` elements starting at logical position `within`.
+    fn fetch_and_patch(
         &mut self,
         stripe: usize,
         within: usize,
         chunk: usize,
         bytes: &[u8],
-    ) -> Result<(), ArrayError> {
+    ) -> Result<Stripe, ArrayError> {
         let all_data: BTreeSet<Cell> = self.layout.data_cells().iter().copied().collect();
         let mut scratch = self.fetch_cells(stripe, &all_data, true)?;
         for i in 0..chunk {
@@ -614,10 +706,12 @@ impl<B: DiskBackend> ResilientArray<B> {
                 .block_mut(cell)
                 .copy_from_slice(&bytes[i * self.block_size..(i + 1) * self.block_size]);
         }
-        self.schedules
-            .encode_program(&self.layout)
-            .run(&mut scratch);
-        // Persist the modified data cells plus every (recomputed) parity.
+        Ok(scratch)
+    }
+
+    /// Persist a re-encoded stripe: the modified data cells plus every
+    /// (recomputed) parity cell.
+    fn persist_segment(&mut self, stripe: usize, within: usize, chunk: usize, scratch: &Stripe) {
         let mut targets: Vec<Cell> = (within..within + chunk)
             .map(|i| self.layout.logical_to_cell(i))
             .collect();
@@ -627,7 +721,6 @@ impl<B: DiskBackend> ResilientArray<B> {
             self.store_cell(stripe, cell, &data);
         }
         self.stats.element_writes += chunk as u64;
-        Ok(())
     }
 
     /// Write one cell's content where possible and record its expected
@@ -705,6 +798,44 @@ impl<B: DiskBackend> ResilientArray<B> {
         }
         Ok(self.rebuild.is_none())
     }
+
+    /// One full read-verify pass over every cell of every stripe — data
+    /// *and* parity. Checksum mismatches and bad sectors surface as
+    /// degraded reads and are repaired in place by the read-repair path;
+    /// the summary reports what the pass found, as deltas of the array's
+    /// counters. This is what a scrubbing server runs against each shard.
+    pub fn scrub_pass(&mut self) -> Result<ScrubSummary, ArrayError> {
+        let before = self.stats.clone();
+        let all_cells: BTreeSet<Cell> = self
+            .layout
+            .data_cells()
+            .iter()
+            .copied()
+            .chain(self.layout.parity_cells())
+            .collect();
+        for stripe in 0..self.n_stripes {
+            self.fetch_cells(stripe, &all_cells, true)?;
+        }
+        Ok(ScrubSummary {
+            stripes: self.n_stripes,
+            checksum_catches: self.stats.checksum_catches - before.checksum_catches,
+            degraded_reads: self.stats.degraded_reads - before.degraded_reads,
+            read_repairs: self.stats.read_repairs - before.read_repairs,
+        })
+    }
+}
+
+/// What one [`ResilientArray::scrub_pass`] found and fixed.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct ScrubSummary {
+    /// Stripes read end to end.
+    pub stripes: usize,
+    /// Silent corruptions caught by CRC during the pass.
+    pub checksum_catches: u64,
+    /// Stripes (fetches) that needed parity reconstruction.
+    pub degraded_reads: u64,
+    /// Blocks rewritten in place with reconstructed content.
+    pub read_repairs: u64,
 }
 
 impl<B: DiskBackend> ElementIo for ResilientArray<B> {
@@ -803,6 +934,46 @@ mod tests {
     }
 
     #[test]
+    fn pathological_retry_policy_saturates_instead_of_panicking() {
+        // Regression: backoff accounting used `base << attempt`, which
+        // panics in debug (wraps in release) once attempt reaches 64. A
+        // user is free to configure max_retries ≥ 64; the charge must
+        // saturate, not overflow.
+        let layout = dcode(5).unwrap();
+        let mut plan = FaultPlan::quiet(7);
+        plan.p_transient_read = 1.0; // every read fails, forever
+        let backend = FaultInjector::new(MemBackend::new(layout.disks(), layout.rows(), 16), plan);
+        let mut a = ResilientArray::format(
+            layout,
+            16,
+            1,
+            RotationScheme::None,
+            backend,
+            RetryPolicy {
+                max_retries: 80,
+                backoff_base_us: u64::MAX / 2,
+            },
+            usize::MAX, // never auto-fail: drive every retry attempt
+        );
+        // Reads exhaust all 80 retries on every disk without panicking,
+        // and the accumulated charge saturates rather than wrapping.
+        assert!(a.read(0, 1).is_err());
+        assert!(a.stats().retries >= 80);
+        assert_eq!(a.stats().backoff_us, u64::MAX);
+
+        // The per-attempt charge itself caps at u64::MAX past the width.
+        let policy = RetryPolicy {
+            max_retries: 100,
+            backoff_base_us: 3,
+        };
+        assert_eq!(policy.backoff_us(0), 3);
+        assert_eq!(policy.backoff_us(1), 6);
+        assert_eq!(policy.backoff_us(63), u64::MAX); // 3 × 2^63 saturates
+        assert_eq!(policy.backoff_us(64), u64::MAX);
+        assert_eq!(policy.backoff_us(usize::MAX), u64::MAX);
+    }
+
+    #[test]
     fn threshold_auto_fails_and_attaches_spare() {
         let mut a = mem_array(5, 3, 1);
         let data = payload(a.capacity_bytes());
@@ -870,6 +1041,82 @@ mod tests {
             "degraded reads kept compiling after warm-up"
         );
         assert!(steady.hits > warm.hits);
+    }
+
+    #[test]
+    fn multi_stripe_writes_batch_through_the_pooled_encoder() {
+        // A write spanning many stripes must land byte-identical to the
+        // sequential path (the pooled batch encode is behaviorally
+        // invisible), including while degraded.
+        let mut a = mem_array(7, 8, 0);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap(); // spans all 8 stripes in one call
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        a.fail_disk(2).unwrap();
+        let patch = payload(a.capacity_bytes() - 3 * 16);
+        a.write(3, &patch).unwrap(); // unaligned, degraded, multi-stripe
+        let mut expect = data;
+        expect[3 * 16..].copy_from_slice(&patch);
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), expect);
+    }
+
+    #[test]
+    fn scrub_pass_finds_and_repairs_rot_on_data_and_parity() {
+        let mut a = mem_array(5, 4, 0);
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        // Clean medium: a pass finds nothing.
+        let clean = a.scrub_pass().unwrap();
+        assert_eq!(clean.stripes, 4);
+        assert_eq!(clean.checksum_catches, 0);
+        assert_eq!(clean.read_repairs, 0);
+        // Rot two blocks — one early (data region) and one in the last
+        // row (parity rows live there for these codes).
+        let disk = a.slot_disk(3);
+        let rows = a.layout().rows();
+        let bytes = a.backend_mut().disk_bytes_mut(disk);
+        bytes[0] ^= 0x01;
+        let last_block_off = (4 * rows - 1) * 16;
+        bytes[last_block_off] ^= 0x80;
+        let dirty = a.scrub_pass().unwrap();
+        assert_eq!(dirty.checksum_catches, 2, "{dirty:?}");
+        assert_eq!(dirty.read_repairs, 2, "{dirty:?}");
+        // The repairs stuck: a third pass is clean and data is intact.
+        let again = a.scrub_pass().unwrap();
+        assert_eq!(again.checksum_catches, 0, "{again:?}");
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+    }
+
+    #[test]
+    fn attach_reopens_an_array_with_crcs_seeded_from_the_medium() {
+        let layout = dcode(5).unwrap();
+        let mut a = ResilientArray::format(
+            layout.clone(),
+            16,
+            3,
+            RotationScheme::PerStripe,
+            MemBackend::new(layout.disks(), 3 * layout.rows(), 16),
+            RetryPolicy::default(),
+            4,
+        );
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        // Steal the medium and re-open it cold, as a restarted server
+        // shard would.
+        let backend = std::mem::replace(a.backend_mut(), MemBackend::new(7, 15, 16));
+        let mut b = ResilientArray::attach(
+            layout,
+            16,
+            3,
+            RotationScheme::PerStripe,
+            backend,
+            RetryPolicy::default(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(b.read(0, b.capacity_elements()).unwrap(), data);
+        assert_eq!(b.stats().checksum_catches, 0, "seeded CRCs must match");
+        assert_eq!(b.scrub_pass().unwrap().checksum_catches, 0);
     }
 
     #[test]

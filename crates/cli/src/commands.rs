@@ -514,6 +514,188 @@ pub fn chaos(seed: u64, ops: usize, target: Option<(CodeId, usize)>) -> Result<S
     Ok(out)
 }
 
+/// Options for the `serve` command (bundled: the flag surface is wide).
+pub struct ServeOpts {
+    /// Code each shard runs.
+    pub code: CodeId,
+    /// The code's prime parameter.
+    pub p: usize,
+    /// Number of shards (subdirectories `shard_<i>` under the array dir).
+    pub shards: usize,
+    /// TCP port (0 = ephemeral, printed on startup).
+    pub port: u16,
+    /// Bytes per element block.
+    pub block: usize,
+    /// Stripes per shard.
+    pub stripes: usize,
+    /// Bounded queue capacity per shard.
+    pub queue_cap: usize,
+    /// Concurrent-connection cap.
+    pub conns: usize,
+}
+
+/// `serve`: run the sharded TCP object server over file-backed shard
+/// directories under `dir`, then block until the process is killed. A
+/// fresh directory is formatted; an existing one (every `shard_<i>`
+/// present) is re-attached, so a restarted server finds its objects.
+pub fn serve(dir: &Path, opts: &ServeOpts) -> Result<String, CliError> {
+    use dcode_server::{Server, ServerConfig, ShardBackend, ShardConfig};
+
+    let layout = dcode_baselines::registry::build(opts.code, opts.p).map_err(|e| {
+        CliError::Usage(format!(
+            "cannot build {} at p={}: {e}",
+            opts.code.name(),
+            opts.p
+        ))
+    })?;
+    if opts.shards == 0 || opts.block == 0 || opts.stripes == 0 {
+        return Err(CliError::Usage(
+            "--shards, --block and --stripes must be positive".into(),
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    let blocks = opts.stripes * layout.rows();
+    let existing = (0..opts.shards)
+        .filter(|i| {
+            dir.join(format!("shard_{i}"))
+                .join(dcode_faults::disk_file_name(0))
+                .exists()
+        })
+        .count();
+    let fresh = match existing {
+        0 => true,
+        n if n == opts.shards => false,
+        n => {
+            return Err(CliError::State(format!(
+                "{n} of {} shard dirs exist under {} — refusing to mix fresh and existing shards",
+                opts.shards,
+                dir.display()
+            )))
+        }
+    };
+    let mut backends: Vec<ShardBackend> = Vec::with_capacity(opts.shards);
+    for i in 0..opts.shards {
+        let shard_dir = dir.join(format!("shard_{i}"));
+        std::fs::create_dir_all(&shard_dir)?;
+        let backend = if fresh {
+            dcode_faults::FileBackend::create(&shard_dir, layout.disks(), blocks, opts.block)?
+        } else {
+            dcode_faults::FileBackend::open(&shard_dir, layout.disks(), blocks, opts.block)?
+        };
+        backends.push(Box::new(backend));
+    }
+    let config = ServerConfig {
+        port: opts.port,
+        shards: opts.shards,
+        max_conns: opts.conns,
+        shard: ShardConfig {
+            layout,
+            block_size: opts.block,
+            stripes: opts.stripes,
+            queue_cap: opts.queue_cap,
+            ..ShardConfig::default()
+        },
+    };
+    let server = Server::start(&config, backends, fresh).map_err(CliError::State)?;
+    println!(
+        "dcode-server listening on 127.0.0.1:{} ({} shard(s) × {} p={}, {} stripes × {}-byte blocks, {}; queue cap {}, {} connection slot(s))",
+        server.port(),
+        opts.shards,
+        opts.code.name(),
+        opts.p,
+        opts.stripes,
+        opts.block,
+        if fresh { "formatted fresh" } else { "re-attached" },
+        opts.queue_cap,
+        opts.conns,
+    );
+    // CI greps this line through a pipe; don't leave it in the buffer.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Options for the `loadgen` command.
+pub struct LoadgenOpts {
+    /// Server host.
+    pub host: String,
+    /// Server port.
+    pub port: u16,
+    /// Total operations across all connections.
+    pub ops: u64,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// PUT value size, bytes.
+    pub value: usize,
+    /// Distinct keys per connection.
+    pub keys: usize,
+    /// Fraction of ops that are PUTs.
+    pub put_fraction: f64,
+    /// Offered load, ops/s (0 = closed loop).
+    pub rate: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Where to write the JSON report.
+    pub out: std::path::PathBuf,
+}
+
+/// `loadgen`: drive a running server with an open-loop workload, verify
+/// every acknowledged write reads back, and write the latency report
+/// (plus the server's own stat document) to a JSON file. Any lost ack or
+/// mid-run mismatch is a hard failure (exit code 3).
+pub fn loadgen(opts: &LoadgenOpts) -> Result<String, CliError> {
+    use dcode_server::{Client, LoadgenConfig, Response};
+
+    let cfg = LoadgenConfig {
+        host: opts.host.clone(),
+        port: opts.port,
+        conns: opts.conns,
+        ops: opts.ops,
+        value_bytes: opts.value,
+        keys_per_conn: opts.keys,
+        put_fraction: opts.put_fraction,
+        rate_ops_s: opts.rate,
+        seed: opts.seed,
+    };
+    let report = dcode_server::loadgen::run(&cfg)?;
+    let server_stat = Client::connect((opts.host.as_str(), opts.port))
+        .and_then(|mut c| c.stat())
+        .ok()
+        .and_then(|resp| match resp {
+            Response::Report(json) => Some(json),
+            _ => None,
+        });
+    std::fs::write(&opts.out, report.to_json(&cfg, server_stat.as_deref()))?;
+    let summary = format!(
+        "{} ops in {:.2}s ({:.0} ops/s) · put p50/p99/p999 {}/{}/{}µs · get p50/p99/p999 {}/{}/{}µs\n\
+         busy retries {} · errors {} · mismatches {} · verified {} acked key(s), {} lost\n\
+         report written to {}",
+        report.ops,
+        report.elapsed_s,
+        report.achieved_ops_s,
+        report.put_us.p50,
+        report.put_us.p99,
+        report.put_us.p999,
+        report.get_us.p50,
+        report.get_us.p99,
+        report.get_us.p999,
+        report.busy_retries,
+        report.errors,
+        report.mismatches,
+        report.verify_checked,
+        report.verify_lost,
+        opts.out.display(),
+    );
+    if report.verify_lost > 0 || report.mismatches > 0 {
+        return Err(CliError::State(format!(
+            "{summary}\nDATA LOSS: acknowledged writes did not read back"
+        )));
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +735,52 @@ mod tests {
         assert!(status(&dir).unwrap().contains("all 7 healthy"));
         fetch(&dir, &out).unwrap();
         assert_eq!(std::fs::read(&out).unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn loadgen_against_an_in_process_server_is_lossless() {
+        use dcode_server::{Server, ServerConfig, ShardBackend, ShardConfig};
+        let (root, _input, _payload) = setup("loadgen");
+        let config = ServerConfig {
+            shards: 2,
+            max_conns: 8,
+            shard: ShardConfig {
+                block_size: 64,
+                stripes: 16,
+                meta_elements: 4,
+                ..ShardConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let backends: Vec<ShardBackend> = (0..2)
+            .map(|_| {
+                Box::new(dcode_faults::MemBackend::new(
+                    config.shard.layout.disks(),
+                    config.shard.stripes * config.shard.layout.rows(),
+                    config.shard.block_size,
+                )) as ShardBackend
+            })
+            .collect();
+        let server = Server::start(&config, backends, true).unwrap();
+        let out = root.join("BENCH_server.json");
+        let opts = LoadgenOpts {
+            host: "127.0.0.1".into(),
+            port: server.port(),
+            ops: 400,
+            conns: 2,
+            value: 200,
+            keys: 8,
+            put_fraction: 0.5,
+            rate: 0,
+            seed: 7,
+            out: out.clone(),
+        };
+        let summary = loadgen(&opts).unwrap();
+        assert!(summary.contains("0 lost"), "{summary}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"verify_lost\":0"), "{json}");
+        assert!(json.contains("\"server_stat\":{"), "{json}");
         let _ = std::fs::remove_dir_all(&root);
     }
 

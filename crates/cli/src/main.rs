@@ -10,6 +10,8 @@
 //! dcode rebuild <array-dir>
 //! dcode scrub <array-dir> [--repair on|off]
 //! dcode chaos --seed N --ops M [--code NAME --p N]
+//! dcode serve <array-dir> [--shards N] [--port P]
+//! dcode loadgen <host:port> [--ops N] [--out FILE]
 //! ```
 //!
 //! Exit codes: 0 success, 1 I/O or metadata, 2 usage, 3 array state,
@@ -42,9 +44,22 @@ USAGE:
                                        # static cost/IO/parallelism analysis of
                                        # compiled schedules vs the paper's claims
   dcode analyze --all                  # …for every code at p in {5,7,11,13,17}
+  dcode serve <array-dir> [--shards N] [--port P] [--code NAME] [--p N]
+              [--block BYTES] [--stripes N] [--queue-cap N] [--conns N]
+                                       # sharded TCP object server over
+                                       # file-backed RAID-6 arrays; runs
+                                       # until killed
+  dcode loadgen <host:port> [--ops N] [--conns N] [--value BYTES] [--keys N]
+              [--puts FRACTION] [--rate OPS_PER_S] [--seed N] [--out FILE]
+                                       # open-loop load + acked-write
+                                       # verification; JSON report to
+                                       # FILE (exit 3 on any lost ack)
 
 CODES: dcode (default), xcode, rdp, hcode, hdp, evenodd, pcode
-DEFAULTS: --p 7, --block 4096, --repair on, --seed 1, --ops 5000
+DEFAULTS: --p 7, --block 4096, --repair on, --seed 1, --ops 5000 (chaos)
+  serve: --shards 4, --port 4650, --stripes 64, --queue-cap 128, --conns 32
+  loadgen: --ops 100000, --conns 8, --value 1024, --keys 64, --puts 0.5,
+           --rate 0 (closed loop), --out BENCH_server.json
 EXIT CODES: 0 ok · 1 I/O-or-metadata · 2 usage · 3 array state ·
             4 ambiguous corruption · 5 dry-run found corruption";
 
@@ -206,6 +221,67 @@ fn run() -> Result<String, CliError> {
                 })
                 .transpose()?;
             commands::analyze(code, p, all, assert_claims, json)
+        }
+        "serve" => {
+            let [dir] = positional.as_slice() else {
+                return Err(usage("serve needs <array-dir>"));
+            };
+            let code = meta::parse_code(flag("code").unwrap_or("dcode")).map_err(|e| usage(&e))?;
+            let num = |name: &str, default: &str| -> Result<usize, CliError> {
+                flag(name)
+                    .unwrap_or(default)
+                    .parse()
+                    .map_err(|_| usage(&format!("--{name} must be a number")))
+            };
+            let port: u16 = flag("port")
+                .unwrap_or("4650")
+                .parse()
+                .map_err(|_| usage("--port must be a TCP port"))?;
+            let opts = commands::ServeOpts {
+                code,
+                p: num("p", "7")?,
+                shards: num("shards", "4")?,
+                port,
+                block: num("block", "4096")?,
+                stripes: num("stripes", "64")?,
+                queue_cap: num("queue-cap", "128")?,
+                conns: num("conns", "32")?,
+            };
+            commands::serve(&PathBuf::from(dir), &opts)
+        }
+        "loadgen" => {
+            let [addr] = positional.as_slice() else {
+                return Err(usage("loadgen needs <host:port>"));
+            };
+            let (host, port) = addr
+                .rsplit_once(':')
+                .and_then(|(h, p)| p.parse::<u16>().ok().map(|p| (h.to_string(), p)))
+                .ok_or_else(|| usage("loadgen target must be host:port"))?;
+            let num = |name: &str, default: &str| -> Result<u64, CliError> {
+                flag(name)
+                    .unwrap_or(default)
+                    .parse()
+                    .map_err(|_| usage(&format!("--{name} must be a number")))
+            };
+            let puts: f64 = flag("puts")
+                .unwrap_or("0.5")
+                .parse()
+                .ok()
+                .filter(|f| (0.0..=1.0).contains(f))
+                .ok_or_else(|| usage("--puts must be a fraction in [0, 1]"))?;
+            let opts = commands::LoadgenOpts {
+                host,
+                port,
+                ops: num("ops", "100000")?,
+                conns: num("conns", "8")? as usize,
+                value: num("value", "1024")? as usize,
+                keys: num("keys", "64")? as usize,
+                put_fraction: puts,
+                rate: num("rate", "0")?,
+                seed: num("seed", "1")?,
+                out: PathBuf::from(flag("out").unwrap_or("BENCH_server.json")),
+            };
+            commands::loadgen(&opts)
         }
         other => Err(usage(&format!("unknown command '{other}'"))),
     }

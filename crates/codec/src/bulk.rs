@@ -68,6 +68,18 @@ pub fn encode_stripes(layout: &CodeLayout, stripes: &mut [Stripe], threads: usiz
 /// takes ownership of a chunk of stripes via an allocation-free
 /// placeholder swap and replays the shared program sequentially over its
 /// chunk; stripe *contents* never cross threads by copy.
+///
+/// **Panic safety:** a panicking program replay (a malformed stripe, a
+/// corrupted schedule) is caught *inside* the job so the job still hands
+/// its chunk back; every chunk — encoded, partially encoded, or untouched
+/// — is restored into the caller's slice before the first panic is
+/// re-raised. Earlier revisions propagated the panic straight through the
+/// pool, leaving the whole slice holding the zero-length placeholder
+/// stripes from the ownership swap: a caller catching the unwind (a
+/// long-lived server, a test harness) would observe silent data loss.
+/// Now the slice never holds a placeholder after this returns or unwinds;
+/// stripes of the panicking chunk may be partially encoded, which the
+/// re-raised panic reports.
 pub fn encode_stripes_pooled(
     program: &Arc<XorProgram>,
     stripes: &mut [Stripe],
@@ -93,15 +105,28 @@ pub fn encode_stripes_pooled(
             .collect();
         let prog = Arc::clone(program);
         jobs.push(move || {
-            for s in &mut owned {
-                prog.run(s);
-            }
-            owned
+            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for s in &mut owned {
+                    prog.run(s);
+                }
+            }))
+            .err();
+            (owned, panic)
         });
     }
     let done = pool.run(jobs);
-    for (slot, encoded) in stripes.iter_mut().zip(done.into_iter().flatten()) {
-        *slot = encoded;
+    let mut first_panic = None;
+    let mut slots = stripes.iter_mut();
+    for (chunk, panic) in done {
+        for encoded in chunk {
+            *slots.next().expect("chunks cover the slice") = encoded;
+        }
+        if first_panic.is_none() {
+            first_panic = panic;
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -160,6 +185,66 @@ mod tests {
             encode_stripes_pooled(&program, &mut stripes, &pool, threads);
             assert_eq!(stripes, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn panicking_job_restores_stripes_instead_of_placeholders() {
+        use dcode_core::grid::Cell;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        // Regression: a panic inside a pooled encode job used to propagate
+        // before the write-back loop ran, leaving *every* stripe in the
+        // caller's slice as the zero-length placeholder from the ownership
+        // swap — silent data loss for any caller catching the unwind.
+        let layout = dcode(7).unwrap();
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        let pool = minipool::WorkerPool::with_workers(4);
+        let per = layout.data_len() * 16;
+        let data = payload(per * 8);
+        let mut stripes: Vec<Stripe> = data
+            .chunks(per)
+            .map(|c| Stripe::from_data(&layout, 16, c))
+            .collect();
+        // Poison one stripe with a smaller code's shape: the compiled
+        // program indexes blocks past its grid and panics mid-chunk.
+        let poison = 5;
+        let small = dcode(5).unwrap();
+        stripes[poison] = Stripe::zeroed(&small, 16);
+
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            encode_stripes_pooled(&program, &mut stripes, &pool, 4);
+        }));
+        assert!(caught.is_err(), "the poison stripe must panic the replay");
+
+        // Every healthy stripe was restored with its data intact — and
+        // since only one job panicked, fully encoded as well.
+        for (i, s) in stripes.iter().enumerate() {
+            if i == poison {
+                continue;
+            }
+            assert_eq!(
+                s.data_bytes(&layout),
+                &data[i * per..(i + 1) * per],
+                "stripe {i} lost data across the unwind"
+            );
+            assert!(verify_parities(&layout, s), "stripe {i} not encoded");
+        }
+        // The poison stripe came back too (its own shape, storage present,
+        // possibly partially encoded) — not a zero-length placeholder.
+        assert_eq!(stripes[poison].grid(), small.grid());
+        assert_eq!(stripes[poison].block_size(), 16);
+        let probe = catch_unwind(AssertUnwindSafe(|| {
+            stripes[poison].snapshot(Cell::new(0, 0)).len()
+        }));
+        assert!(probe.is_ok(), "poison stripe left as a placeholder");
+
+        // The pool and the healthy stripes are reusable after the unwind.
+        let mut again: Vec<Stripe> = data
+            .chunks(per)
+            .map(|c| Stripe::from_data(&layout, 16, c))
+            .collect();
+        encode_stripes_pooled(&program, &mut again, &pool, 4);
+        assert!(again.iter().all(|s| verify_parities(&layout, s)));
     }
 
     #[test]

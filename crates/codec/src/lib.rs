@@ -55,7 +55,7 @@ pub mod update;
 pub mod xor;
 
 pub use bitmatrix::{encode_with_matrix, generator_matrix, BitMatrix};
-pub use bulk::{encode_payload, encode_stripes, payload_of};
+pub use bulk::{encode_payload, encode_stripes, encode_stripes_pooled, payload_of};
 pub use cache::{schedule_stats, CacheStats, CompiledRecovery, ScheduleCache};
 pub use decode::{apply_plan, apply_plan_naive, recover_columns};
 pub use encode::{encode, encode_naive, encode_parallel, verify_parities};

@@ -99,6 +99,29 @@ pub trait DiskBackend {
     }
 }
 
+// The trait is object-safe; forwarding through `Box` lets a server mix
+// concrete backends (file, memory, fault-injected) behind one shard type.
+impl<T: DiskBackend + ?Sized> DiskBackend for Box<T> {
+    fn disks(&self) -> usize {
+        (**self).disks()
+    }
+    fn blocks(&self) -> usize {
+        (**self).blocks()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn read_block(&mut self, disk: usize, block: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        (**self).read_block(disk, block, buf)
+    }
+    fn write_block(&mut self, disk: usize, block: usize, data: &[u8]) -> Result<(), DiskError> {
+        (**self).write_block(disk, block, data)
+    }
+    fn flush(&mut self, disk: usize) -> Result<(), DiskError> {
+        (**self).flush(disk)
+    }
+}
+
 /// An in-memory backend: one `Vec<u8>` per disk. The reference
 /// implementation for tests, the chaos oracle, and the soak harness.
 pub struct MemBackend {

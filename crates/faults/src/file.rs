@@ -11,6 +11,14 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+/// Per-disk file length in bytes. Always computed in `u64`: `blocks *
+/// block_size` as `usize` can overflow before the cast on 32-bit hosts
+/// (a 2^20-block disk of 8 KiB blocks is 8 GiB — past `u32::MAX`), and
+/// file offsets are 64-bit regardless of the host's pointer width.
+fn byte_len(blocks: usize, block_size: usize) -> u64 {
+    blocks as u64 * block_size as u64
+}
+
 /// File name of disk `i` inside an array directory (shared with the CLI's
 /// directory layout).
 pub fn disk_file_name(disk: usize) -> String {
@@ -42,7 +50,7 @@ impl FileBackend {
                 .create(true)
                 .truncate(true)
                 .open(Self::path(dir, d))?;
-            f.set_len((blocks * block_size) as u64)?;
+            f.set_len(byte_len(blocks, block_size))?;
             files.push(f);
         }
         Ok(FileBackend {
@@ -62,7 +70,7 @@ impl FileBackend {
         blocks: usize,
         block_size: usize,
     ) -> std::io::Result<Self> {
-        let want = (blocks * block_size) as u64;
+        let want = byte_len(blocks, block_size);
         let mut files = Vec::with_capacity(disks);
         for d in 0..disks {
             let path = Self::path(dir, d);
@@ -90,7 +98,7 @@ impl FileBackend {
     fn seek_to(&mut self, disk: usize, block: usize) -> Result<(), DiskError> {
         self.check_addr(disk, block)?;
         self.files[disk]
-            .seek(SeekFrom::Start((block * self.block_size) as u64))
+            .seek(SeekFrom::Start(block as u64 * self.block_size as u64))
             .map_err(|e| DiskError::Io(e.to_string()))?;
         Ok(())
     }
@@ -162,6 +170,29 @@ mod tests {
         // Unwritten blocks read back as zeros (file was pre-sized).
         b.read_block(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn offsets_past_4gib_do_not_overflow() {
+        // Regression: `seek_to` used to compute `(block * block_size) as
+        // u64`, overflowing the usize multiply before the cast on 32-bit
+        // hosts. Address a block whose byte offset exceeds u32::MAX —
+        // the file is sparse, so the 8 GiB disk costs almost no space.
+        let dir = tmpdir("hugeoff");
+        let blocks = 1 << 20; // 2^20 blocks × 8 KiB = 8 GiB per disk
+        let block_size = 8192;
+        assert!(byte_len(blocks, block_size) > u64::from(u32::MAX));
+        let mut b = FileBackend::create(&dir, 1, blocks, block_size).unwrap();
+        let data = vec![0xA5u8; block_size];
+        let last = blocks - 1;
+        b.write_block(0, last, &data).unwrap();
+        let mut buf = vec![0u8; block_size];
+        b.read_block(0, last, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // A block just below the 4 GiB line is untouched by that write.
+        b.read_block(0, (1 << 19) - 1, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; block_size]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

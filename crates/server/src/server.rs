@@ -1,0 +1,350 @@
+//! The TCP front end: accept loop, connection handlers on a
+//! [`minipool::WorkerPool`], and request routing to the shards.
+//!
+//! Threading model:
+//!
+//! * one **accept thread** takes connections off the listener and hands
+//!   each to the pool as a detached job ([`minipool::WorkerPool::submit`]);
+//!   the pool is pre-grown to `max_conns`, so the pool size *is* the
+//!   concurrent-connection cap — excess connections are accepted but wait
+//!   in the pool's queue until a handler worker frees up;
+//! * one **worker thread per shard** owns that shard's store outright
+//!   (see [`crate::shard`]);
+//! * connection handlers do no storage work: they decode a frame, route
+//!   it by [`shard_of`], enqueue, and wait for the shard's reply. A full
+//!   shard queue is reported to the client as `Busy` without blocking.
+//!
+//! `STAT` never queues: it renders the shards' published snapshots and
+//! the shared metrics, so observability survives overload — exactly when
+//! it is needed.
+//!
+//! Shutdown: the flag flips, every registered connection is
+//! `Shutdown::Both`-ed (unblocking handler reads mid-`recv` without
+//! read-timeout desync), a dummy connect unblocks `accept`, shard queues
+//! close, and every thread is joined. Dropping the [`Server`] does all of
+//! this too.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{read_frame, write_frame, ProtoError, Request, Response};
+use crate::shard::{
+    build_store, shard_of, spawn_shard, Shard, ShardBackend, ShardConfig, ShardJob, ShardOp,
+    ShardQueue, ShardSnapshot,
+};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Everything needed to start a server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP port; 0 asks the OS for an ephemeral one (read it back with
+    /// [`Server::port`]).
+    pub port: u16,
+    /// Number of shards (= backends that must be supplied).
+    pub shards: usize,
+    /// Concurrent-connection cap (pool workers serving handlers).
+    pub max_conns: usize,
+    /// Per-shard array geometry and queue bound.
+    pub shard: ShardConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            shards: 4,
+            max_conns: 32,
+            shard: ShardConfig::default(),
+        }
+    }
+}
+
+struct ServerInner {
+    shutdown: AtomicBool,
+    queues: Vec<Arc<ShardQueue>>,
+    snapshots: Vec<Arc<Mutex<ShardSnapshot>>>,
+    metrics: Arc<ServerMetrics>,
+    /// One clone per accepted connection, so shutdown can unblock reads.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running server; dropping it shuts everything down and joins every
+/// thread.
+pub struct Server {
+    port: u16,
+    inner: Arc<ServerInner>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    shards: Vec<Shard>,
+    /// Dropped last: joining the pool requires the handlers to have been
+    /// unblocked by the shutdown sequence.
+    pool: Option<Arc<minipool::WorkerPool>>,
+}
+
+impl Server {
+    /// Bind, build one store per backend (`fresh` formats, otherwise
+    /// attaches to existing content), spawn the shard workers and the
+    /// accept loop. `backends.len()` must equal `config.shards`.
+    pub fn start(
+        config: &ServerConfig,
+        backends: Vec<ShardBackend>,
+        fresh: bool,
+    ) -> Result<Server, String> {
+        assert!(config.shards > 0 && config.max_conns > 0);
+        assert_eq!(backends.len(), config.shards, "one backend per shard");
+        let listener = TcpListener::bind(("127.0.0.1", config.port))
+            .map_err(|e| format!("bind port {}: {e}", config.port))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?
+            .port();
+
+        let metrics = Arc::new(ServerMetrics::new());
+        let mut shards = Vec::with_capacity(config.shards);
+        for (id, backend) in backends.into_iter().enumerate() {
+            let store = build_store(&config.shard, backend, fresh)
+                .map_err(|e| format!("shard {id}: {e}"))?;
+            shards.push(spawn_shard(
+                id,
+                store,
+                config.shard.queue_cap,
+                Arc::clone(&metrics),
+            ));
+        }
+
+        let inner = Arc::new(ServerInner {
+            shutdown: AtomicBool::new(false),
+            queues: shards.iter().map(|s| Arc::clone(&s.queue)).collect(),
+            snapshots: shards.iter().map(|s| Arc::clone(&s.snapshot)).collect(),
+            metrics,
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let pool = Arc::new(minipool::WorkerPool::with_workers(config.max_conns));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("dcode-accept".into())
+                .spawn(move || accept_loop(&listener, &inner, &pool))
+                .map_err(|e| format!("spawn accept thread: {e}"))?
+        };
+
+        Ok(Server {
+            port,
+            inner,
+            accept: Some(accept),
+            shards,
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound TCP port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The stat document, identical to what a `STAT` request returns.
+    pub fn stat_json(&self) -> String {
+        stat_document(&self.inner)
+    }
+
+    /// Park (or release) one shard's worker — the deterministic
+    /// backpressure hook for tests and demos: a stalled shard stops
+    /// draining its queue, so `queue_cap` more requests fill it and the
+    /// next one is rejected `Busy`.
+    pub fn stall_shard(&self, shard: usize, stalled: bool) {
+        self.inner.queues[shard].set_stalled(stalled);
+    }
+
+    /// Stop accepting, unblock and join every thread. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Unblock handler reads.
+        for conn in self.inner.conns.lock().expect("conn registry").iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Close shard queues and join the workers.
+        for shard in &self.shards {
+            shard.queue.shutdown();
+        }
+        for shard in std::mem::take(&mut self.shards) {
+            let _ = shard.worker.join();
+        }
+        // Joining the pool (drop) reaps the handler workers; their jobs
+        // exit on the closed sockets / closed reply channels.
+        self.pool = None;
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<ServerInner>, pool: &minipool::WorkerPool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            inner.conns.lock().expect("conn registry").push(clone);
+        }
+        let inner = Arc::clone(inner);
+        pool.submit(move || handle_connection(stream, &inner));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &ServerInner) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Clean close, torn frame, or shutdown-unblocked read: the
+        // connection is done either way.
+        let Ok(Some(body)) = read_frame(&mut stream) else {
+            return;
+        };
+        let response = match Request::decode(&body) {
+            Ok(request) => dispatch(request, inner),
+            Err(e) => {
+                inner.metrics.ops.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(protocol_error_message(&e))
+            }
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn protocol_error_message(e: &ProtoError) -> String {
+    format!("bad request: {e}")
+}
+
+/// Route one decoded request and produce its response.
+fn dispatch(request: Request, inner: &ServerInner) -> Response {
+    match request {
+        Request::Put { name, value } => enqueue_keyed(
+            inner,
+            ShardOp::Put {
+                name: name.clone(),
+                value,
+            },
+            &name,
+        ),
+        Request::Get { name } => enqueue_keyed(inner, ShardOp::Get { name: name.clone() }, &name),
+        Request::Delete { name } => {
+            enqueue_keyed(inner, ShardOp::Delete { name: name.clone() }, &name)
+        }
+        Request::Scrub => scrub_all(inner),
+        Request::Stat => {
+            inner.metrics.ops.stats.fetch_add(1, Ordering::Relaxed);
+            Response::Report(stat_document(inner))
+        }
+    }
+}
+
+/// Enqueue a single-shard op on the shard owning `name`; translate a full
+/// queue into `Busy` and a dead worker into an error.
+fn enqueue_keyed(inner: &ServerInner, op: ShardOp, name: &str) -> Response {
+    let shard = shard_of(name, inner.queues.len());
+    let (reply, result) = mpsc::channel();
+    let job = ShardJob {
+        op,
+        queued_at: Instant::now(),
+        reply,
+    };
+    match inner.queues[shard].try_push(job) {
+        Ok(()) => match result.recv() {
+            Ok(response) => response,
+            Err(_) => Response::Err(format!("shard {shard} terminated")),
+        },
+        Err(depth) => {
+            inner.metrics.ops.busy.fetch_add(1, Ordering::Relaxed);
+            busy(shard, depth)
+        }
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn busy(shard: usize, depth: usize) -> Response {
+    Response::Busy {
+        shard: shard.min(u16::MAX as usize) as u16,
+        depth: depth.min(u32::MAX as usize) as u32,
+    }
+}
+
+/// Fan a scrub out to every shard and merge the per-shard reports. All
+/// shards must accept the job; one full queue fails the whole scrub with
+/// `Busy` (a scrub against an overloaded array is the wrong time anyway).
+fn scrub_all(inner: &ServerInner) -> Response {
+    let started = Instant::now();
+    let mut pending = Vec::with_capacity(inner.queues.len());
+    for (shard, queue) in inner.queues.iter().enumerate() {
+        let (reply, result) = mpsc::channel();
+        let job = ShardJob {
+            op: ShardOp::Scrub,
+            queued_at: Instant::now(),
+            reply,
+        };
+        match queue.try_push(job) {
+            Ok(()) => pending.push((shard, result)),
+            Err(depth) => {
+                // Shards already scrubbing just finish; their reports are
+                // dropped with the channel.
+                inner.metrics.ops.busy.fetch_add(1, Ordering::Relaxed);
+                return busy(shard, depth);
+            }
+        }
+    }
+    let mut reports = Vec::with_capacity(pending.len());
+    for (shard, result) in pending {
+        match result.recv() {
+            Ok(Response::Report(json)) => reports.push(json),
+            Ok(other) => return other,
+            Err(_) => return Response::Err(format!("shard {shard} terminated")),
+        }
+    }
+    inner.metrics.ops.scrubs.fetch_add(1, Ordering::Relaxed);
+    #[allow(clippy::cast_possible_truncation)]
+    let us = started.elapsed().as_micros() as u64;
+    inner.metrics.scrub_latency.record(us);
+    Response::Report(format!("{{\"shards\":[{}]}}", reports.join(",")))
+}
+
+/// Render the stat document: global counters + latency summaries + one
+/// entry per shard, with live queue depths.
+fn stat_document(inner: &ServerInner) -> String {
+    let per_shard: Vec<String> = inner
+        .snapshots
+        .iter()
+        .zip(&inner.queues)
+        .map(|(snapshot, queue)| {
+            let snap = snapshot.lock().expect("shard snapshot").clone();
+            snap.to_json(queue.depth())
+        })
+        .collect();
+    format!(
+        "{{\"shards\":{},{},\"per_shard\":[{}]}}",
+        inner.queues.len(),
+        inner.metrics.core_json(),
+        per_shard.join(","),
+    )
+}

@@ -1,0 +1,599 @@
+//! One shard: a bounded work queue in front of a worker thread that owns
+//! an [`ObjectStore`] over a [`ResilientArray`].
+//!
+//! All array state is single-threaded inside the worker — no locks on the
+//! I/O path, no sharing of the schedule cache across shards (each array
+//! embeds its own, so its hit rate measures *that shard's* steady state).
+//! Concurrency comes from sharding: requests are routed by [`shard_of`]
+//! (FNV-1a of the object name, modulo shard count), so independent
+//! objects land on independent arrays and proceed in parallel.
+//!
+//! The queue is **bounded**. `try_push` on a full queue fails immediately
+//! with the current depth, which the front end converts into a typed
+//! `Busy` response — backpressure the client can see and pace against,
+//! instead of an unbounded queue that converts overload into latency and
+//! then into memory exhaustion. A test hook ([`ShardQueue::set_stalled`])
+//! parks the worker without touching the store, making queue-full
+//! behaviour deterministic to test.
+//!
+//! Large multi-stripe writes batch through the pooled encoder inside
+//! `ResilientArray::write` (one `encode_stripes_pooled` call per PUT
+//! segment batch), so a busy server keeps the worker pool warm without
+//! the shard layer knowing anything about stripes.
+
+use crate::metrics::{json_escape, ServerMetrics};
+use crate::protocol::Response;
+use dcode_array::{
+    ObjectStore, ResilientArray, ResilientStats, RetryPolicy, RotationScheme, StoreError,
+};
+use dcode_codec::CacheStats;
+use dcode_core::layout::CodeLayout;
+use dcode_core::Fnv1a;
+use dcode_faults::{DiskBackend, DiskError};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// The backend type shards store behind: any [`DiskBackend`] that can move
+/// to the worker thread (file-backed, in-memory, fault-injected…).
+pub type ShardBackend = Box<dyn DiskBackend + Send>;
+
+/// The store a shard worker owns.
+pub type ShardStore = ObjectStore<ResilientArray<ShardBackend>>;
+
+/// Route an object name to a shard: FNV-1a over the name bytes, modulo
+/// the shard count. Stable across runs and processes (the hasher is
+/// pinned, unlike `DefaultHasher`), so a restarted server finds every
+/// object where the previous process put it.
+pub fn shard_of(name: &str, shards: usize) -> usize {
+    assert!(shards > 0);
+    let mut h = Fnv1a::new();
+    h.bytes(name.as_bytes());
+    (h.finish() % shards as u64) as usize
+}
+
+/// Geometry and policy for every shard's array.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// The RAID-6 code each shard runs.
+    pub layout: CodeLayout,
+    /// Bytes per element block.
+    pub block_size: usize,
+    /// Stripes per shard array.
+    pub stripes: usize,
+    /// Logical→physical column rotation.
+    pub rotation: RotationScheme,
+    /// Elements reserved for each store's index.
+    pub meta_elements: usize,
+    /// Transient-error retry policy.
+    pub policy: RetryPolicy,
+    /// Hard errors on one slot before it is auto-failed.
+    pub fail_threshold: usize,
+    /// Bounded queue capacity per shard.
+    pub queue_cap: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            layout: dcode_core::dcode::dcode(7).expect("7 is prime"),
+            block_size: 4096,
+            stripes: 64,
+            rotation: RotationScheme::PerStripe,
+            meta_elements: 8,
+            policy: RetryPolicy::default(),
+            fail_threshold: 8,
+            queue_cap: 128,
+        }
+    }
+}
+
+/// Build a shard's store over `backend`: `fresh` formats a new array and
+/// store; otherwise the array is attached to the existing medium (CRCs
+/// seeded from disk content) and the store index is read back from it.
+pub fn build_store(
+    cfg: &ShardConfig,
+    backend: ShardBackend,
+    fresh: bool,
+) -> Result<ShardStore, String> {
+    if fresh {
+        let array = ResilientArray::format(
+            cfg.layout.clone(),
+            cfg.block_size,
+            cfg.stripes,
+            cfg.rotation,
+            backend,
+            cfg.policy,
+            cfg.fail_threshold,
+        );
+        ObjectStore::format(array, cfg.meta_elements).map_err(|e| format!("format store: {e}"))
+    } else {
+        let array = ResilientArray::attach(
+            cfg.layout.clone(),
+            cfg.block_size,
+            cfg.stripes,
+            cfg.rotation,
+            backend,
+            cfg.policy,
+            cfg.fail_threshold,
+        )
+        .map_err(|e: DiskError| format!("attach array: {e}"))?;
+        ObjectStore::open(array, cfg.meta_elements).map_err(|e| format!("open store: {e}"))
+    }
+}
+
+/// One queued operation (`Stat` never enters a queue — it is served from
+/// published snapshots so an overloaded shard cannot block observability).
+pub(crate) enum ShardOp {
+    Put { name: String, value: Vec<u8> },
+    Get { name: String },
+    Delete { name: String },
+    Scrub,
+}
+
+/// A queued operation plus its reply channel and enqueue timestamp (the
+/// latency histograms measure enqueue → completion, so queueing delay is
+/// part of the reported number — that is the latency a client feels).
+pub(crate) struct ShardJob {
+    pub op: ShardOp,
+    pub queued_at: Instant,
+    pub reply: mpsc::Sender<Response>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<ShardJob>,
+    stalled: bool,
+    shutdown: bool,
+}
+
+/// The bounded MPSC queue between connection handlers and one shard
+/// worker.
+pub(crate) struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ShardQueue {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        ShardQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                stalled: false,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue if there is room; on a full queue return the depth at
+    /// rejection instead of blocking.
+    pub fn try_push(&self, job: ShardJob) -> Result<(), usize> {
+        let mut inner = self.inner.lock().expect("shard queue");
+        if inner.shutdown || inner.jobs.len() >= self.cap {
+            return Err(inner.jobs.len());
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("shard queue").jobs.len()
+    }
+
+    /// Park (or release) the worker without touching the store — the test
+    /// hook that makes `Busy` deterministic: stall, fill the queue past
+    /// `cap`, observe the rejection, release.
+    pub fn set_stalled(&self, stalled: bool) {
+        self.inner.lock().expect("shard queue").stalled = stalled;
+        self.ready.notify_all();
+    }
+
+    /// Wake the worker and make it exit once the flag is seen. Pending
+    /// jobs are dropped; their reply channels close, and waiting handlers
+    /// report the shutdown. Nothing already acknowledged is affected.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("shard queue").shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocking pop; `None` means shutdown.
+    fn pop(&self) -> Option<ShardJob> {
+        let mut inner = self.inner.lock().expect("shard queue");
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if !inner.stalled {
+                if let Some(job) = inner.jobs.pop_front() {
+                    return Some(job);
+                }
+            }
+            inner = self.ready.wait(inner).expect("shard queue");
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's observable state, refreshed by the
+/// worker after every operation and read lock-free of the store by `STAT`.
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot {
+    /// Objects resident in the store.
+    pub objects: usize,
+    /// Operations the worker has completed.
+    pub ops_done: u64,
+    /// Resilient-layer counters (retries, degraded reads, repairs…).
+    pub stats: ResilientStats,
+    /// Schedule-cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Slots currently failed.
+    pub failed_slots: Vec<usize>,
+    /// Hot spares not yet attached.
+    pub spares_remaining: usize,
+}
+
+impl Default for ShardSnapshot {
+    fn default() -> Self {
+        ShardSnapshot {
+            objects: 0,
+            ops_done: 0,
+            stats: ResilientStats::default(),
+            cache: CacheStats { hits: 0, misses: 0 },
+            failed_slots: Vec::new(),
+            spares_remaining: 0,
+        }
+    }
+}
+
+impl ShardSnapshot {
+    /// This shard's entry in the stat document; `queue_depth` is sampled
+    /// live at render time.
+    pub fn to_json(&self, queue_depth: usize) -> String {
+        let failed: Vec<String> = self.failed_slots.iter().map(usize::to_string).collect();
+        format!(
+            "{{\"queue_depth\":{queue_depth},\"objects\":{},\"ops_done\":{},\
+             \"schedule_hits\":{},\"schedule_misses\":{},\
+             \"element_reads\":{},\"element_writes\":{},\"retries\":{},\
+             \"degraded_reads\":{},\"checksum_catches\":{},\"read_repairs\":{},\
+             \"auto_fails\":{},\"rebuilds_completed\":{},\
+             \"failed_slots\":[{}],\"spares_remaining\":{}}}",
+            self.objects,
+            self.ops_done,
+            self.cache.hits,
+            self.cache.misses,
+            self.stats.element_reads,
+            self.stats.element_writes,
+            self.stats.retries,
+            self.stats.degraded_reads,
+            self.stats.checksum_catches,
+            self.stats.read_repairs,
+            self.stats.auto_fails,
+            self.stats.rebuilds_completed,
+            failed.join(","),
+            self.spares_remaining,
+        )
+    }
+}
+
+/// A running shard: its queue, its published snapshot, and the worker's
+/// join handle.
+pub(crate) struct Shard {
+    pub queue: Arc<ShardQueue>,
+    pub snapshot: Arc<Mutex<ShardSnapshot>>,
+    pub worker: std::thread::JoinHandle<()>,
+}
+
+/// Spawn the worker thread for one shard.
+pub(crate) fn spawn_shard(
+    id: usize,
+    store: ShardStore,
+    queue_cap: usize,
+    metrics: Arc<ServerMetrics>,
+) -> Shard {
+    let queue = Arc::new(ShardQueue::new(queue_cap));
+    let snapshot = Arc::new(Mutex::new(ShardSnapshot::default()));
+    publish(&snapshot, &store, 0);
+    let worker = {
+        let queue = Arc::clone(&queue);
+        let snapshot = Arc::clone(&snapshot);
+        std::thread::Builder::new()
+            .name(format!("dcode-shard-{id}"))
+            .spawn(move || worker_loop(id, store, &queue, &snapshot, &metrics))
+            .expect("spawn shard worker")
+    };
+    Shard {
+        queue,
+        snapshot,
+        worker,
+    }
+}
+
+fn publish(snapshot: &Mutex<ShardSnapshot>, store: &ShardStore, ops_done: u64) {
+    let array = store.array();
+    let snap = ShardSnapshot {
+        objects: store.list().len(),
+        ops_done,
+        stats: array.stats().clone(),
+        cache: array.schedule_stats(),
+        failed_slots: array.failed_slots(),
+        spares_remaining: array.spares_remaining(),
+    };
+    *snapshot.lock().expect("shard snapshot") = snap;
+}
+
+fn store_error_response(e: &StoreError) -> Response {
+    match e {
+        StoreError::NotFound(_) => Response::NotFound,
+        other => Response::Err(other.to_string()),
+    }
+}
+
+fn worker_loop(
+    id: usize,
+    mut store: ShardStore,
+    queue: &ShardQueue,
+    snapshot: &Mutex<ShardSnapshot>,
+    metrics: &ServerMetrics,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut ops_done = 0u64;
+    while let Some(job) = queue.pop() {
+        let response = match &job.op {
+            ShardOp::Put { name, value } => match store.upsert(name, value) {
+                Ok(()) => {
+                    metrics.ops.puts.fetch_add(1, Relaxed);
+                    Response::Ok
+                }
+                Err(e) => {
+                    metrics.ops.errors.fetch_add(1, Relaxed);
+                    store_error_response(&e)
+                }
+            },
+            ShardOp::Get { name } => match store.get(name) {
+                Ok(bytes) => {
+                    metrics.ops.gets.fetch_add(1, Relaxed);
+                    Response::Value(bytes)
+                }
+                Err(StoreError::NotFound(_)) => {
+                    metrics.ops.not_found.fetch_add(1, Relaxed);
+                    Response::NotFound
+                }
+                Err(e) => {
+                    metrics.ops.errors.fetch_add(1, Relaxed);
+                    Response::Err(e.to_string())
+                }
+            },
+            ShardOp::Delete { name } => match store.delete(name) {
+                Ok(()) => {
+                    metrics.ops.deletes.fetch_add(1, Relaxed);
+                    Response::Ok
+                }
+                Err(StoreError::NotFound(_)) => {
+                    metrics.ops.not_found.fetch_add(1, Relaxed);
+                    Response::NotFound
+                }
+                Err(e) => {
+                    metrics.ops.errors.fetch_add(1, Relaxed);
+                    Response::Err(e.to_string())
+                }
+            },
+            ShardOp::Scrub => match store.array_mut().scrub_pass() {
+                Ok(summary) => Response::Report(format!(
+                    "{{\"shard\":{id},\"stripes\":{},\"checksum_catches\":{},\
+                     \"degraded_reads\":{},\"read_repairs\":{}}}",
+                    summary.stripes,
+                    summary.checksum_catches,
+                    summary.degraded_reads,
+                    summary.read_repairs,
+                )),
+                Err(e) => {
+                    metrics.ops.errors.fetch_add(1, Relaxed);
+                    Response::Err(format!("shard {id} scrub: {}", json_escape(&e.to_string())))
+                }
+            },
+        };
+        #[allow(clippy::cast_possible_truncation)]
+        let us = job.queued_at.elapsed().as_micros() as u64;
+        match &job.op {
+            ShardOp::Put { .. } => metrics.put_latency.record(us),
+            ShardOp::Get { .. } => metrics.get_latency.record(us),
+            ShardOp::Delete { .. } => metrics.delete_latency.record(us),
+            ShardOp::Scrub => {}
+        }
+        ops_done += 1;
+        // Publish before replying, so anything observable after an ack
+        // (snapshot included) already reflects the acked operation; the
+        // ack itself comes after the store completed it — an acknowledged
+        // PUT is durable in the array before the client sees OK.
+        publish(snapshot, &store, ops_done);
+        let _ = job.reply.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_faults::MemBackend;
+
+    fn mem_store(cfg: &ShardConfig) -> ShardStore {
+        let backend = MemBackend::new(
+            cfg.layout.disks(),
+            cfg.stripes * cfg.layout.rows(),
+            cfg.block_size,
+        );
+        build_store(cfg, Box::new(backend), true).unwrap()
+    }
+
+    fn small_cfg() -> ShardConfig {
+        ShardConfig {
+            block_size: 64,
+            stripes: 8,
+            meta_elements: 4,
+            queue_cap: 4,
+            ..ShardConfig::default()
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for name in ["a", "obj-17", "c3-k200", ""] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "deterministic");
+            }
+        }
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c → known value pins the routing
+        // so a future hasher change cannot silently strand stored objects.
+        assert_eq!(shard_of("a", 4), (0xaf63_dc4c_8601_ec8c_u64 % 4) as usize);
+    }
+
+    #[test]
+    fn worker_serves_put_get_delete_and_scrub() {
+        let shard = spawn_shard(
+            0,
+            mem_store(&small_cfg()),
+            16,
+            Arc::new(ServerMetrics::new()),
+        );
+        let ask = |op: ShardOp| {
+            let (tx, rx) = mpsc::channel();
+            shard
+                .queue
+                .try_push(ShardJob {
+                    op,
+                    queued_at: Instant::now(),
+                    reply: tx,
+                })
+                .unwrap();
+            rx.recv().unwrap()
+        };
+        assert_eq!(
+            ask(ShardOp::Put {
+                name: "k".into(),
+                value: vec![1, 2, 3],
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            ask(ShardOp::Get { name: "k".into() }),
+            Response::Value(vec![1, 2, 3])
+        );
+        let Response::Report(json) = ask(ShardOp::Scrub) else {
+            panic!("scrub must report");
+        };
+        assert!(json.contains("\"shard\":0"));
+        assert_eq!(ask(ShardOp::Delete { name: "k".into() }), Response::Ok);
+        assert_eq!(ask(ShardOp::Get { name: "k".into() }), Response::NotFound);
+        shard.queue.shutdown();
+        shard.worker.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_queue_fills_to_cap_and_rejects_with_depth() {
+        let cfg = small_cfg();
+        let shard = spawn_shard(
+            1,
+            mem_store(&cfg),
+            cfg.queue_cap,
+            Arc::new(ServerMetrics::new()),
+        );
+        shard.queue.set_stalled(true);
+        let mut receivers = Vec::new();
+        for i in 0..cfg.queue_cap {
+            let (tx, rx) = mpsc::channel();
+            shard
+                .queue
+                .try_push(ShardJob {
+                    op: ShardOp::Put {
+                        name: format!("k{i}"),
+                        value: vec![i as u8],
+                    },
+                    queued_at: Instant::now(),
+                    reply: tx,
+                })
+                .expect("below cap");
+            receivers.push(rx);
+        }
+        let (tx, _rx) = mpsc::channel();
+        let depth = shard
+            .queue
+            .try_push(ShardJob {
+                op: ShardOp::Get { name: "k0".into() },
+                queued_at: Instant::now(),
+                reply: tx,
+            })
+            .expect_err("queue full");
+        assert_eq!(depth, cfg.queue_cap);
+        // Release the worker: every queued put completes and is acked.
+        shard.queue.set_stalled(false);
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap(), Response::Ok);
+        }
+        shard.queue.shutdown();
+        shard.worker.join().unwrap();
+    }
+
+    #[test]
+    fn snapshot_tracks_store_state() {
+        let shard = spawn_shard(
+            2,
+            mem_store(&small_cfg()),
+            16,
+            Arc::new(ServerMetrics::new()),
+        );
+        let (tx, rx) = mpsc::channel();
+        shard
+            .queue
+            .try_push(ShardJob {
+                op: ShardOp::Put {
+                    name: "seen".into(),
+                    value: vec![9; 200],
+                },
+                queued_at: Instant::now(),
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Response::Ok);
+        let snap = shard.snapshot.lock().unwrap().clone();
+        assert_eq!(snap.objects, 1);
+        assert_eq!(snap.ops_done, 1);
+        assert!(snap.stats.element_writes > 0);
+        let json = snap.to_json(shard.queue.depth());
+        assert!(json.contains("\"objects\":1"), "{json}");
+        shard.queue.shutdown();
+        shard.worker.join().unwrap();
+    }
+
+    #[test]
+    fn build_store_reattaches_existing_content() {
+        // Fresh store on a mem backend, write, tear down, re-attach over
+        // the same medium bytes.
+        let cfg = small_cfg();
+        let mut store = mem_store(&cfg);
+        store.put("persist", &[5u8; 300]).unwrap();
+        // Steal the medium back out of the array.
+        let disks = cfg.layout.disks();
+        let blocks = cfg.stripes * cfg.layout.rows();
+        let mut medium = MemBackend::new(disks, blocks, cfg.block_size);
+        for d in 0..disks {
+            let mut buf = vec![0u8; cfg.block_size];
+            for b in 0..blocks {
+                store
+                    .array_mut()
+                    .backend_mut()
+                    .read_block(d, b, &mut buf)
+                    .unwrap();
+                medium.write_block(d, b, &buf).unwrap();
+            }
+        }
+        let mut reopened = build_store(&cfg, Box::new(medium), false).unwrap();
+        assert_eq!(reopened.get("persist").unwrap(), vec![5u8; 300]);
+    }
+}

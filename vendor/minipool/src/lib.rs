@@ -169,6 +169,29 @@ impl WorkerPool {
             .map(|v| v.expect("every job reported a result"))
             .collect()
     }
+
+    /// Submit one detached job: it runs on a pool worker as soon as one is
+    /// free, the call never blocks, and no result comes back. Panics
+    /// inside the job are caught by the worker loop, so a misbehaving job
+    /// cannot kill its worker. This is the front-end shape a server's
+    /// connection handlers want — long-lived jobs that end on their own
+    /// schedule, with the pool size acting as the concurrent-connection
+    /// cap (excess submissions queue until a worker frees up).
+    ///
+    /// The pool is grown to at least one worker so a submission can never
+    /// be stranded on an empty pool; size the pool for the expected
+    /// concurrency with [`WorkerPool::ensure_workers`] up front.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.ensure_workers(1);
+        {
+            let mut state = self.shared.state.lock().expect("pool queue");
+            state.jobs.push_back(Box::new(job));
+        }
+        self.shared.available.notify_one();
+    }
 }
 
 impl Default for WorkerPool {
@@ -329,6 +352,35 @@ mod tests {
         }))
         .expect_err("panic must propagate");
         assert_eq!(caught.downcast_ref::<&str>().copied(), Some("first"));
+    }
+
+    #[test]
+    fn submit_runs_detached_jobs_and_survives_their_panics() {
+        let pool = WorkerPool::with_workers(2);
+        let (tx, rx) = mpsc::channel();
+        let t1 = tx.clone();
+        pool.submit(move || {
+            t1.send(1u32).unwrap();
+        });
+        pool.submit(|| panic!("detached job explodes"));
+        let t2 = tx;
+        pool.submit(move || {
+            t2.send(2u32).unwrap();
+        });
+        let mut got: Vec<u32> = (0..2).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "jobs after a panic still ran");
+        // Batch submission still works on the same workers.
+        assert_eq!(pool.run(vec![|| 9u32]), vec![9]);
+    }
+
+    #[test]
+    fn submit_on_an_empty_pool_grows_one_worker() {
+        let pool = WorkerPool::new();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(42u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert!(pool.workers() >= 1);
     }
 
     #[test]
