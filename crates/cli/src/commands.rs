@@ -415,6 +415,40 @@ pub fn analyze(
     Ok(body)
 }
 
+/// `race`: model-check the workspace's concurrency invariants (worker
+/// pool, schedule cache, shard queue/worker) under minisim's
+/// deterministic scheduler, run the mutation self-tests that prove the
+/// checker catches seeded bugs, and report the lock-order discipline
+/// observed by the registry. `all` switches to the deep exploration
+/// budget (every invariant must clear the interleaving floor); `json`
+/// emits the machine-readable report. A violation, an uncaught
+/// mutation, or a lock-order cycle exits 3.
+pub fn race(all: bool, json: bool) -> Result<String, CliError> {
+    let report = dcode_race::run_all(all);
+    let body = if json {
+        report.to_json()
+    } else {
+        report.to_string()
+    };
+    if report.passed() {
+        return Ok(body);
+    }
+    if json {
+        // Machine consumers still get the full report on stdout; the
+        // failure summary goes to stderr via the error path.
+        println!("{body}");
+    }
+    Err(CliError::State(format!(
+        "{}race check FAILED: {}",
+        if json {
+            String::new()
+        } else {
+            format!("{body}\n")
+        },
+        report.failures().join("; ")
+    )))
+}
+
 /// `scrub`: verify every stripe's parities, localizing and repairing
 /// single- and pair-element silent corruption. With `repair` off nothing
 /// is written — the diagnosis reports what a repairing scrub *would* do,
@@ -668,6 +702,9 @@ pub fn loadgen(opts: &LoadgenOpts) -> Result<String, CliError> {
             _ => None,
         });
     std::fs::write(&opts.out, report.to_json(&cfg, server_stat.as_deref()))?;
+    // p999 is unresolvable below 1000 samples; the report carries null
+    // and the summary shows a dash.
+    let p999 = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |us| us.to_string());
     let summary = format!(
         "{} ops in {:.2}s ({:.0} ops/s) · put p50/p99/p999 {}/{}/{}µs · get p50/p99/p999 {}/{}/{}µs\n\
          busy retries {} · errors {} · mismatches {} · verified {} acked key(s), {} lost\n\
@@ -677,10 +714,10 @@ pub fn loadgen(opts: &LoadgenOpts) -> Result<String, CliError> {
         report.achieved_ops_s,
         report.put_us.p50,
         report.put_us.p99,
-        report.put_us.p999,
+        p999(report.put_us.p999),
         report.get_us.p50,
         report.get_us.p99,
-        report.get_us.p999,
+        p999(report.get_us.p999),
         report.busy_retries,
         report.errors,
         report.mismatches,

@@ -44,6 +44,11 @@ USAGE:
                                        # static cost/IO/parallelism analysis of
                                        # compiled schedules vs the paper's claims
   dcode analyze --all                  # …for every code at p in {5,7,11,13,17}
+  dcode race [--all] [--json]          # model-check the pool/cache/shard
+                                       # concurrency invariants (+ mutation
+                                       # self-tests + lock-order discipline);
+                                       # --all explores the deep interleaving
+                                       # budget (exit 3 on violation)
   dcode serve <array-dir> [--shards N] [--port P] [--code NAME] [--p N]
               [--block BYTES] [--stripes N] [--queue-cap N] [--conns N]
                                        # sharded TCP object server over
@@ -221,6 +226,12 @@ fn run() -> Result<String, CliError> {
                 })
                 .transpose()?;
             commands::analyze(code, p, all, assert_claims, json)
+        }
+        "race" => {
+            if !positional.is_empty() {
+                return Err(usage("race takes only --all/--json flags"));
+            }
+            commands::race(all, json)
         }
         "serve" => {
             let [dir] = positional.as_slice() else {

@@ -35,9 +35,10 @@ use crate::schedule::XorProgram;
 use dcode_core::decoder::{plan_recovery, RecoveryPlan, Unrecoverable};
 use dcode_core::grid::{Cell, Grid};
 use dcode_core::layout::CodeLayout;
+use minisim::sync::{Mutex, MutexGuard};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Upper bound on distinct missing-cell subprograms cached per erasure
 /// pattern. Partial degraded reads generate one subprogram per distinct
@@ -100,17 +101,30 @@ struct LayoutEntry {
 /// Memoized compiled schedules; see the module docs. Cheap to construct —
 /// embed one per long-lived object (as `ResilientArray` does) or share the
 /// process-wide [`global`] instance.
-#[derive(Default)]
+///
+/// The entries mutex is a named `minisim` facade lock: production calls
+/// go straight to `std::sync`, while `dcode-race` model-checks the
+/// compile-outside-lock race-adopt protocol on the same code.
 pub struct ScheduleCache {
     entries: Mutex<Vec<LayoutEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        ScheduleCache::new()
+    }
+}
+
 impl ScheduleCache {
     /// An empty cache.
     pub fn new() -> Self {
-        ScheduleCache::default()
+        ScheduleCache {
+            entries: Mutex::named("codec.cache.entries", Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Counters since construction.
@@ -278,7 +292,7 @@ impl ScheduleCache {
         Ok(plan)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<LayoutEntry>> {
+    fn lock(&self) -> MutexGuard<'_, Vec<LayoutEntry>> {
         // The lock is only ever held for lookups and inserts — never across
         // compilation or user code — so a poisoned mutex is unreachable
         // without a panic inside `Vec`/`Arc` themselves. Recover the guard

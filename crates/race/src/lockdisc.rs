@@ -1,0 +1,123 @@
+//! The fully static second tier: run a representative pool + cache +
+//! shard workload on the **production** (`std::sync`) path with the
+//! `minisim` lock-order registry enabled, then report the observed
+//! lock-acquisition order graph — cycles, condvar waits entered while
+//! other locks were held, and long hold times — through `dcode-verify`'s
+//! [`Diagnostic`] vocabulary.
+
+use crate::models::{job, StubEngine};
+use dcode_server::{spawn_engine_worker, ServerMetrics, ShardOp, ShardQueue, ShardSnapshot};
+use dcode_verify::diag::{DiagKind, Diagnostic};
+use minipool::WorkerPool;
+use minisim::lockorder::{self, LockOrderReport};
+use minisim::sync::{Arc, Mutex};
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex as StdMutex;
+
+/// Hold-time budget: a named lock held longer than this (per acquisition)
+/// earns a [`DiagKind::LongLockHold`] warning. Every lock in the
+/// workspace guards queue/snapshot bookkeeping, never I/O or XOR, so
+/// 50ms is generous by orders of magnitude.
+pub const HOLD_BUDGET_MICROS: u64 = 50_000;
+
+/// The registry is process-global; serialize analyzer runs so two
+/// concurrent callers (parallel tests) cannot interleave their evidence.
+fn gate() -> &'static StdMutex<()> {
+    static GATE: StdMutex<()> = StdMutex::new(());
+    &GATE
+}
+
+/// Exercise every named lock role in the workspace on the std path:
+/// minipool batch + detached submit + drop-join, schedule-cache miss and
+/// hit, and a shard worker serving ops while a STAT-style probe reads
+/// the published snapshot and queue depth.
+fn workload() {
+    // pool.queue / pool.available / pool.workers
+    let pool = WorkerPool::with_workers(2);
+    let squares = pool.run((0..4u64).map(|i| move || i * i).collect::<Vec<_>>());
+    assert_eq!(squares, vec![0, 1, 4, 9]);
+    let _ = pool.submit(|| {});
+    drop(pool);
+
+    // codec.cache.entries — one miss, one hit
+    let cache = dcode_codec::cache::ScheduleCache::new();
+    let layout = dcode_core::dcode::dcode(5).expect("5 is prime");
+    let a = cache.encode_program(&layout);
+    let b = cache.encode_program(&layout);
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+
+    // server.shard.queue / server.shard.ready / server.shard.snapshot
+    let queue = Arc::new(ShardQueue::new(4));
+    let snapshot = Arc::new(Mutex::named(
+        "server.shard.snapshot",
+        ShardSnapshot::default(),
+    ));
+    let worker = spawn_engine_worker(
+        "lockdisc-shard".to_string(),
+        StubEngine::new(Arc::new(AtomicBool::new(false))),
+        Arc::clone(&queue),
+        Arc::clone(&snapshot),
+        Arc::new(ServerMetrics::new()),
+    );
+    let (put, rx) = job(ShardOp::Put {
+        name: "k".into(),
+        value: vec![1],
+    });
+    queue.try_push(put).expect("below cap");
+    rx.recv().expect("worker replies");
+    let snap = snapshot.lock().expect("snapshot lock").clone();
+    assert_eq!(snap.ops_done, 1);
+    assert_eq!(queue.depth(), 0);
+    queue.shutdown();
+    worker.join().expect("worker exits");
+}
+
+/// Run the workload under the registry and return the recorded report.
+pub fn observe() -> LockOrderReport {
+    let _gate = gate()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    lockorder::reset();
+    lockorder::enable();
+    workload();
+    lockorder::disable();
+    let report = lockorder::snapshot();
+    lockorder::reset();
+    report
+}
+
+/// Map a lock-order report to diagnostics: cycles are errors (a real
+/// deadlock recipe), condvar-waits-while-holding and over-budget holds
+/// are warnings.
+pub fn diagnose(report: &LockOrderReport, hold_budget_micros: u64) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for cycle in &report.cycles {
+        diags.push(Diagnostic::error(DiagKind::LockOrderCycle {
+            chain: cycle.clone(),
+        }));
+    }
+    for w in &report.waits_while_holding {
+        diags.push(Diagnostic::warning(DiagKind::CondvarWaitWhileHolding {
+            condvar: w.condvar.clone(),
+            released: w.waiting_lock.clone(),
+            held: w.held.clone(),
+        }));
+    }
+    for (lock, micros) in &report.max_hold_micros {
+        if *micros > hold_budget_micros {
+            diags.push(Diagnostic::warning(DiagKind::LongLockHold {
+                lock: lock.clone(),
+                micros: *micros,
+                budget_micros: hold_budget_micros,
+            }));
+        }
+    }
+    diags
+}
+
+/// [`observe`] + [`diagnose`] with the default budget.
+pub fn analyze() -> (LockOrderReport, Vec<Diagnostic>) {
+    let report = observe();
+    let diags = diagnose(&report, HOLD_BUDGET_MICROS);
+    (report, diags)
+}

@@ -1,0 +1,258 @@
+//! The model-checked invariants, each a closure over the *real*
+//! production state machines — [`minipool::WorkerPool`],
+//! [`dcode_codec::cache::ScheduleCache`], and the shard queue/worker in
+//! `dcode-server` — executed under [`minisim::check`]'s deterministic
+//! scheduler. Nothing here reimplements the code under test; the models
+//! only build inputs, drive the public API from a couple of threads, and
+//! assert the invariant. The buggy counterparts that prove the checker
+//! *would* catch a regression live in [`crate::mutations`].
+
+use dcode_codec::cache::ScheduleCache;
+use dcode_server::{
+    spawn_engine_worker, Response, ServerMetrics, ShardEngine, ShardJob, ShardOp, ShardQueue,
+    ShardSnapshot,
+};
+use minipool::WorkerPool;
+use minisim::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A deterministic stand-in for the storage half of a shard worker: no
+/// disks, no XOR — just a "durable" flag flipped when an op executes, so
+/// the ack-after-durable ordering is observable to the checker. The
+/// concurrency skeleton around it (`worker_loop` via
+/// [`spawn_engine_worker`]) is the production one.
+pub(crate) struct StubEngine {
+    durable: Arc<AtomicBool>,
+}
+
+impl StubEngine {
+    pub(crate) fn new(durable: Arc<AtomicBool>) -> Self {
+        StubEngine { durable }
+    }
+}
+
+impl ShardEngine for StubEngine {
+    fn execute(&mut self, op: &ShardOp) -> Response {
+        match op {
+            ShardOp::Put { .. } => {
+                self.durable.store(true, Ordering::SeqCst);
+                Response::Ok
+            }
+            ShardOp::Get { .. } => Response::NotFound,
+            ShardOp::Delete { .. } => Response::NotFound,
+            ShardOp::Scrub => Response::Report("{}".to_string()),
+        }
+    }
+
+    fn snapshot(&self, ops_done: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            ops_done,
+            ..ShardSnapshot::default()
+        }
+    }
+}
+
+pub(crate) fn job(op: ShardOp) -> (ShardJob, mpsc::Receiver<Response>) {
+    let (reply, rx) = mpsc::channel();
+    (
+        ShardJob {
+            op,
+            queued_at: Instant::now(),
+            reply,
+        },
+        rx,
+    )
+}
+
+fn shard_fixture(cap: usize) -> (Arc<ShardQueue>, Arc<Mutex<ShardSnapshot>>, Arc<AtomicBool>) {
+    (
+        Arc::new(ShardQueue::new(cap)),
+        Arc::new(Mutex::new(ShardSnapshot::default())),
+        Arc::new(AtomicBool::new(false)),
+    )
+}
+
+/// I1 `ack_after_durable` — when a client sees the reply to a PUT, the
+/// store operation has completed (the stub's durable flag is set) *and*
+/// the published snapshot already reflects it (`ops_done >= 1`). This is
+/// the publish-before-reply ordering in `worker_loop`.
+pub fn ack_after_durable() {
+    let (queue, snapshot, durable) = shard_fixture(4);
+    let worker = spawn_engine_worker(
+        "sim-shard".to_string(),
+        StubEngine::new(Arc::clone(&durable)),
+        Arc::clone(&queue),
+        Arc::clone(&snapshot),
+        Arc::new(ServerMetrics::new()),
+    );
+    let (put, rx) = job(ShardOp::Put {
+        name: "k".into(),
+        value: vec![1],
+    });
+    queue.try_push(put).expect("queue below cap");
+    assert_eq!(rx.recv().expect("worker replies"), Response::Ok);
+    assert!(
+        durable.load(Ordering::SeqCst),
+        "reply arrived before the store op completed"
+    );
+    let published = snapshot.lock().expect("snapshot lock").ops_done;
+    assert!(
+        published >= 1,
+        "reply arrived before the snapshot publish (ops_done={published})"
+    );
+    queue.shutdown();
+    worker.join().expect("worker exits cleanly");
+}
+
+/// I2 `busy_not_hang` — pushing into a full shard queue returns
+/// `Err(depth)` immediately instead of blocking; releasing the stall
+/// drains the queued op. A blocking push would show up as a deadlock in
+/// some interleaving (producer waiting on a stalled consumer).
+pub fn busy_not_hang() {
+    let (queue, snapshot, durable) = shard_fixture(1);
+    let worker = spawn_engine_worker(
+        "sim-shard".to_string(),
+        StubEngine::new(durable),
+        Arc::clone(&queue),
+        Arc::clone(&snapshot),
+        Arc::new(ServerMetrics::new()),
+    );
+    queue.set_stalled(true);
+    let (first, rx) = job(ShardOp::Put {
+        name: "a".into(),
+        value: vec![1],
+    });
+    queue.try_push(first).expect("first job fits cap 1");
+    let (second, _rx2) = job(ShardOp::Get { name: "b".into() });
+    let depth = queue
+        .try_push(second)
+        .expect_err("full queue must reject, not block");
+    assert_eq!(depth, 1, "rejection reports the observed depth");
+    queue.set_stalled(false);
+    assert_eq!(rx.recv().expect("queued op completes"), Response::Ok);
+    queue.shutdown();
+    worker.join().expect("worker exits cleanly");
+}
+
+/// I3 `shutdown_joins_all` — dropping a [`WorkerPool`] returns only
+/// after every worker has exited, and every job accepted before the
+/// drop has run (workers drain the queue before honoring shutdown).
+pub fn shutdown_joins_all() {
+    let pool = WorkerPool::with_workers(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut accepted = 0usize;
+    for _ in 0..2 {
+        let ran = Arc::clone(&ran);
+        if pool
+            .submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .is_ok()
+        {
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted, 2, "a live pool accepts every submission");
+    drop(pool);
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        accepted,
+        "drop returned before every accepted job ran"
+    );
+}
+
+/// I4 `stat_never_queued` — a STAT-style observer (snapshot read + queue
+/// depth probe) completes even while the worker is stalled with an op
+/// sitting in the queue. If observability went through the queue it
+/// would deadlock here: the root joins the observer before unstalling.
+pub fn stat_never_queued() {
+    let (queue, snapshot, durable) = shard_fixture(1);
+    let worker = spawn_engine_worker(
+        "sim-shard".to_string(),
+        StubEngine::new(durable),
+        Arc::clone(&queue),
+        Arc::clone(&snapshot),
+        Arc::new(ServerMetrics::new()),
+    );
+    queue.set_stalled(true);
+    let (put, rx) = job(ShardOp::Put {
+        name: "k".into(),
+        value: vec![1],
+    });
+    queue.try_push(put).expect("job fits cap 1");
+    let (q2, s2) = (Arc::clone(&queue), Arc::clone(&snapshot));
+    let stat = minisim::thread::spawn(move || {
+        let snap = s2.lock().expect("snapshot lock").clone();
+        (snap.ops_done, q2.depth())
+    });
+    // Joining *before* unstalling is the invariant: STAT must not need
+    // the worker to make progress.
+    let (ops_done, depth) = stat.join().expect("stat thread completes");
+    assert_eq!(ops_done, 0, "nothing executed while stalled");
+    assert!(depth <= 1, "depth probe sees at most the queued op");
+    queue.set_stalled(false);
+    assert_eq!(rx.recv().expect("queued op completes"), Response::Ok);
+    queue.shutdown();
+    worker.join().expect("worker exits cleanly");
+}
+
+/// I5 `cache_race_adopt` — two threads racing a [`ScheduleCache`] miss
+/// for the same layout end up with pointer-identical programs (the
+/// insert-race loser adopts the winner's entry), and a later lookup
+/// returns that same program.
+pub fn cache_race_adopt() {
+    let layout = dcode_core::dcode::dcode(5).expect("5 is prime");
+    let cache = Arc::new(ScheduleCache::new());
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let (c2, l2) = (Arc::clone(&cache), layout.clone());
+            minisim::thread::spawn(move || c2.encode_program(&l2))
+        })
+        .collect();
+    let a = cache.encode_program(&layout);
+    for racer in racers {
+        let b = racer.join().expect("racer completes");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "concurrent misses must converge on one program"
+        );
+    }
+    let c = cache.encode_program(&layout);
+    assert!(
+        Arc::ptr_eq(&a, &c),
+        "steady state returns the adopted program"
+    );
+}
+
+/// I6 `submit_vs_drop` — a submission racing pool teardown either
+/// completes (the accepted job runs before `Drop` returns) or is
+/// rejected outright; no interleaving hangs and no accepted job is
+/// stranded. Teardown and submission contend on a shared slot, which is
+/// how safe Rust serializes `&pool` use against `Drop` in production.
+pub fn submit_vs_drop() {
+    let slot = Arc::new(Mutex::new(Some(WorkerPool::with_workers(1))));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let (slot2, ran2) = (Arc::clone(&slot), Arc::clone(&ran));
+    let submitter = minisim::thread::spawn(move || {
+        let guard = slot2.lock().expect("slot lock");
+        match guard.as_ref() {
+            Some(pool) => pool
+                .submit(move || {
+                    ran2.fetch_add(1, Ordering::SeqCst);
+                })
+                .is_ok(),
+            None => false,
+        }
+    });
+    // Teardown: take the pool out of the slot and drop it (joins the
+    // worker, draining anything accepted).
+    let pool = slot.lock().expect("slot lock").take();
+    drop(pool);
+    let accepted = submitter.join().expect("submitter completes");
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        usize::from(accepted),
+        "accepted implies ran; rejected implies not ran"
+    );
+}

@@ -1,0 +1,259 @@
+//! Mutation self-tests: deliberately buggy re-implementations of each
+//! invariant's protocol, built from the same facade primitives the real
+//! code uses. Each one reintroduces a bug class the corresponding
+//! invariant guards against; [`minisim::check`] must find a violating
+//! interleaving, and its seed must [`minisim::replay`] to the same
+//! violation. A mutation that stops being caught means the checker — or
+//! the invariant — has gone blind, so `dcode race` fails on it.
+//!
+//! The mutants are local on purpose: the production crates stay correct,
+//! and the checker is validated against the *bug shape* (reply before
+//! publish, blocking push, lost shutdown wakeup, stat behind the queue,
+//! adopt-overwrite, exit-before-drain) rather than against a specific
+//! broken revision.
+
+use minisim::sync::{mpsc, Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// M1 (vs I1 `ack_after_durable`): the worker acks *before* publishing.
+/// An observer that trusts the ack can then read a stale snapshot.
+pub fn reply_before_publish() {
+    let published = Arc::new(Mutex::new(0u64));
+    let (req_tx, req_rx) = mpsc::channel::<mpsc::Sender<()>>();
+    let p2 = Arc::clone(&published);
+    let worker = minisim::thread::spawn(move || {
+        while let Ok(reply) = req_rx.recv() {
+            // BUG: the reply races ahead of the publish.
+            let _ = reply.send(());
+            *p2.lock().expect("publish lock") += 1;
+        }
+    });
+    let (reply_tx, reply_rx) = mpsc::channel();
+    req_tx.send(reply_tx).expect("worker is alive");
+    reply_rx.recv().expect("worker acks");
+    assert!(
+        *published.lock().expect("publish lock") >= 1,
+        "acked op not yet published"
+    );
+    drop(req_tx);
+    worker.join().expect("worker exits");
+}
+
+/// M2 (vs I2 `busy_not_hang`): a *blocking* push on a full queue. With
+/// the consumer stalled, the producer parks on a condvar nobody will
+/// signal — a deadlock the checker must report.
+pub fn blocking_push() {
+    struct Q {
+        jobs: usize,
+        stalled: bool,
+    }
+    let state = Arc::new((
+        Mutex::new(Q {
+            jobs: 0,
+            stalled: true,
+        }),
+        Condvar::new(), // ready: consumer waits for work / unstall
+        Condvar::new(), // not_full: producer waits for room
+    ));
+    let cap = 1usize;
+    let s2 = Arc::clone(&state);
+    let consumer = minisim::thread::spawn(move || {
+        let (lock, ready, not_full) = (&s2.0, &s2.1, &s2.2);
+        let mut g = lock.lock().expect("queue lock");
+        while g.stalled || g.jobs == 0 {
+            g = ready.wait(g).expect("queue lock");
+        }
+        g.jobs -= 1;
+        not_full.notify_all();
+    });
+    let (lock, _ready, not_full) = (&state.0, &state.1, &state.2);
+    let mut g = lock.lock().expect("queue lock");
+    g.jobs += 1; // first push fits
+                 // BUG: second push blocks until there is room instead of rejecting.
+    while g.jobs >= cap {
+        g = not_full.wait(g).expect("queue lock");
+    }
+    g.jobs += 1;
+    drop(g);
+    consumer.join().expect("consumer exits");
+}
+
+/// M3 (vs I3 `shutdown_joins_all`): teardown sets the shutdown flag but
+/// never notifies — a parked worker misses the wakeup and the join
+/// blocks forever (the classic lost wakeup).
+pub fn drop_without_notify() {
+    struct Q {
+        jobs: VecDeque<u32>,
+        shutdown: bool,
+    }
+    let state = Arc::new((
+        Mutex::new(Q {
+            jobs: VecDeque::new(),
+            shutdown: false,
+        }),
+        Condvar::new(),
+    ));
+    let s2 = Arc::clone(&state);
+    let worker = minisim::thread::spawn(move || {
+        let (lock, cv) = (&s2.0, &s2.1);
+        let mut g = lock.lock().expect("queue lock");
+        loop {
+            if g.jobs.pop_front().is_some() {
+                continue;
+            }
+            if g.shutdown {
+                return;
+            }
+            g = cv.wait(g).expect("queue lock");
+        }
+    });
+    {
+        let mut g = state.0.lock().expect("queue lock");
+        g.shutdown = true;
+        // BUG: no notify_all() here.
+    }
+    worker.join().expect("worker observed shutdown");
+}
+
+/// M4 (vs I4 `stat_never_queued`): STAT is served by queueing an op
+/// behind the stalled worker, so observability deadlocks exactly when
+/// the shard is wedged.
+pub fn stat_through_queue() {
+    struct Q {
+        jobs: VecDeque<mpsc::Sender<u64>>,
+        stalled: bool,
+        ops_done: u64,
+    }
+    let state = Arc::new((
+        Mutex::new(Q {
+            jobs: VecDeque::new(),
+            stalled: true,
+            ops_done: 0,
+        }),
+        Condvar::new(),
+    ));
+    let s2 = Arc::clone(&state);
+    let worker = minisim::thread::spawn(move || {
+        let (lock, cv) = (&s2.0, &s2.1);
+        let mut g = lock.lock().expect("queue lock");
+        loop {
+            if !g.stalled {
+                if let Some(reply) = g.jobs.pop_front() {
+                    g.ops_done += 1;
+                    let done = g.ops_done;
+                    drop(g);
+                    let _ = reply.send(done);
+                    g = lock.lock().expect("queue lock");
+                    continue;
+                }
+                return; // empty + unstalled = this mutant's shutdown
+            }
+            g = cv.wait(g).expect("queue lock");
+        }
+    });
+    let s3 = Arc::clone(&state);
+    let stat = minisim::thread::spawn(move || {
+        // BUG: the stat probe goes through the queue and waits for the
+        // stalled worker to answer it.
+        let (tx, rx) = mpsc::channel();
+        s3.0.lock().expect("queue lock").jobs.push_back(tx);
+        s3.1.notify_all();
+        rx.recv().expect("stat answered")
+    });
+    // The invariant's shape: STAT must complete while the shard is
+    // stalled — so join it before unstalling.
+    let ops = stat.join().expect("stat completes while stalled");
+    assert_eq!(ops, 1);
+    state.0.lock().expect("queue lock").stalled = false;
+    state.1.notify_all();
+    worker.join().expect("worker exits");
+}
+
+/// M5 (vs I5 `cache_race_adopt`): the insert-race loser *overwrites* the
+/// winner's entry instead of adopting it, so two concurrent lookups can
+/// return different (non-pointer-equal) programs.
+pub fn adopt_overwrite() {
+    fn get(slot: &Mutex<Option<Arc<u64>>>, id: u64) -> Arc<u64> {
+        {
+            let g = slot.lock().expect("cache lock");
+            if let Some(p) = g.as_ref() {
+                return Arc::clone(p);
+            }
+        }
+        let mine = Arc::new(id); // "compile" outside the lock
+        let mut g = slot.lock().expect("cache lock");
+        // BUG: unconditional overwrite; the correct protocol adopts an
+        // entry inserted while the lock was released.
+        *g = Some(Arc::clone(&mine));
+        mine
+    }
+    let slot = Arc::new(Mutex::new(None::<Arc<u64>>));
+    let s2 = Arc::clone(&slot);
+    let racer = minisim::thread::spawn(move || get(&s2, 1));
+    let a = get(&slot, 2);
+    let b = racer.join().expect("racer completes");
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "concurrent misses must converge on one program"
+    );
+}
+
+/// M6 (vs I6 `submit_vs_drop`): the worker honors shutdown *before*
+/// draining the queue, stranding a job that submit() had accepted.
+pub fn exit_before_drain() {
+    struct Q {
+        jobs: VecDeque<Box<dyn FnOnce() + Send>>,
+        shutdown: bool,
+    }
+    let state = Arc::new((
+        Mutex::new(Q {
+            jobs: VecDeque::new(),
+            shutdown: false,
+        }),
+        Condvar::new(),
+    ));
+    let s2 = Arc::clone(&state);
+    let worker = minisim::thread::spawn(move || {
+        let (lock, cv) = (&s2.0, &s2.1);
+        let mut g = lock.lock().expect("queue lock");
+        loop {
+            // BUG: shutdown checked before the queue is drained.
+            if g.shutdown {
+                return;
+            }
+            if let Some(jb) = g.jobs.pop_front() {
+                drop(g);
+                jb();
+                g = lock.lock().expect("queue lock");
+                continue;
+            }
+            g = cv.wait(g).expect("queue lock");
+        }
+    });
+    let ran = Arc::new(AtomicUsize::new(0));
+    let accepted = {
+        let mut g = state.0.lock().expect("queue lock");
+        if g.shutdown {
+            false
+        } else {
+            let ran = Arc::clone(&ran);
+            g.jobs.push_back(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+            true
+        }
+    };
+    state.1.notify_all();
+    {
+        let mut g = state.0.lock().expect("queue lock");
+        g.shutdown = true;
+    }
+    state.1.notify_all();
+    worker.join().expect("worker exits");
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        usize::from(accepted),
+        "accepted job was stranded by shutdown"
+    );
+}

@@ -1,0 +1,26 @@
+use minisim::CheckOptions;
+
+#[test]
+#[ignore = "measurement probe"]
+fn measure() {
+    for pb in [1usize, 2, 3] {
+        for inv in dcode_race::invariants() {
+            let opts = CheckOptions {
+                preemption_bound: pb,
+                spurious_wakeups: 1,
+                max_interleavings: 25_000,
+                max_steps: 200_000,
+            };
+            let t = std::time::Instant::now();
+            let report = minisim::check(&opts, inv.model);
+            println!(
+                "pb={pb} {:<20} {:>7} interleavings complete={} violation={:?} in {:?}",
+                inv.name,
+                report.interleavings,
+                report.complete,
+                report.violation.as_ref().map(|v| (&v.kind, &v.message)),
+                t.elapsed()
+            );
+        }
+    }
+}

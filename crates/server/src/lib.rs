@@ -67,4 +67,7 @@ pub use loadgen::{LoadgenConfig, LoadgenReport, Percentiles};
 pub use metrics::{Histogram, ServerMetrics};
 pub use protocol::{read_frame, write_frame, ProtoError, Request, Response, MAX_FRAME};
 pub use server::{Server, ServerConfig};
-pub use shard::{build_store, shard_of, ShardBackend, ShardConfig, ShardSnapshot, ShardStore};
+pub use shard::{
+    build_store, shard_of, spawn_engine_worker, ShardBackend, ShardConfig, ShardEngine, ShardJob,
+    ShardOp, ShardQueue, ShardSnapshot, ShardStore, StoreEngine,
+};

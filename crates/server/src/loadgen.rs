@@ -105,8 +105,10 @@ pub struct Percentiles {
     pub p50: u64,
     /// 99th percentile.
     pub p99: u64,
-    /// 99.9th percentile.
-    pub p999: u64,
+    /// 99.9th percentile — `None` (JSON `null`) below 1000 samples,
+    /// where the tail rank collapses onto the max and reads as a real
+    /// measurement when it is not one.
+    pub p999: Option<u64>,
     /// Maximum.
     pub max: u64,
 }
@@ -127,15 +129,18 @@ impl Percentiles {
             count: samples.len() as u64,
             p50: pick(0.50),
             p99: pick(0.99),
-            p999: pick(0.999),
+            p999: (samples.len() >= 1000).then(|| pick(0.999)),
             max: *samples.last().expect("non-empty"),
         }
     }
 
     fn json(&self) -> String {
+        let p999 = self
+            .p999
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
         format!(
-            "{{\"count\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
-            self.count, self.p50, self.p99, self.p999, self.max
+            "{{\"count\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{p999},\"max_us\":{}}}",
+            self.count, self.p50, self.p99, self.max
         )
     }
 }
@@ -402,11 +407,25 @@ mod tests {
         assert_eq!(p.count, 1000);
         assert_eq!(p.p50, 500);
         assert_eq!(p.p99, 990);
-        assert_eq!(p.p999, 999);
+        assert_eq!(p.p999, Some(999));
         assert_eq!(p.max, 1000);
         let empty = Percentiles::of(Vec::new());
         assert_eq!(empty.count, 0);
         assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn p999_is_null_below_a_thousand_samples() {
+        let p = Percentiles::of((1..=999u64).collect());
+        assert_eq!(p.count, 999);
+        assert_eq!(p.p999, None, "999 samples cannot resolve a p999");
+        assert!(p.json().contains("\"p999_us\":null"), "{}", p.json());
+        let enough = Percentiles::of((1..=1000u64).collect());
+        assert!(
+            enough.json().contains("\"p999_us\":999"),
+            "{}",
+            enough.json()
+        );
     }
 
     #[test]
@@ -433,7 +452,7 @@ mod tests {
                 count: 4,
                 p50: 100,
                 p99: 200,
-                p999: 200,
+                p999: None,
                 max: 200,
             },
             get_us: Percentiles::default(),
@@ -442,7 +461,7 @@ mod tests {
         };
         let json = report.to_json(&LoadgenConfig::default(), None);
         assert!(json.contains("\"verify_lost\":0"));
-        assert!(json.contains("\"p999_us\":200"));
+        assert!(json.contains("\"p999_us\":null"));
         assert!(json.contains("\"server_stat\":null"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

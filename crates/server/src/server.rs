@@ -30,9 +30,10 @@ use crate::shard::{
     build_store, shard_of, spawn_shard, Shard, ShardBackend, ShardConfig, ShardJob, ShardOp,
     ShardQueue, ShardSnapshot,
 };
+use minisim::sync::{mpsc, Arc, Mutex};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::PoisonError;
 use std::time::Instant;
 
 /// Everything needed to start a server.
@@ -74,7 +75,7 @@ struct ServerInner {
 pub struct Server {
     port: u16,
     inner: Arc<ServerInner>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    accept: Option<minisim::thread::JoinHandle<()>>,
     shards: Vec<Shard>,
     /// Dropped last: joining the pool requires the handlers to have been
     /// unblocked by the shutdown sequence.
@@ -117,14 +118,14 @@ impl Server {
             queues: shards.iter().map(|s| Arc::clone(&s.queue)).collect(),
             snapshots: shards.iter().map(|s| Arc::clone(&s.snapshot)).collect(),
             metrics,
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::named("server.conns", Vec::new()),
         });
 
         let pool = Arc::new(minipool::WorkerPool::with_workers(config.max_conns));
         let accept = {
             let inner = Arc::clone(&inner);
             let pool = Arc::clone(&pool);
-            std::thread::Builder::new()
+            minisim::thread::Builder::new()
                 .name("dcode-accept".into())
                 .spawn(move || accept_loop(&listener, &inner, &pool))
                 .map_err(|e| format!("spawn accept thread: {e}"))?
@@ -168,8 +169,15 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        // Unblock handler reads.
-        for conn in self.inner.conns.lock().expect("conn registry").iter() {
+        // Unblock handler reads. Recover poison: a panicked handler must
+        // not be able to wedge shutdown.
+        for conn in self
+            .inner
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             let _ = conn.shutdown(Shutdown::Both);
         }
         // Close shard queues and join the workers.
@@ -203,10 +211,16 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<ServerInner>, pool: &minipool
             return;
         }
         if let Ok(clone) = stream.try_clone() {
-            inner.conns.lock().expect("conn registry").push(clone);
+            inner
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(clone);
         }
         let inner = Arc::clone(inner);
-        pool.submit(move || handle_connection(stream, &inner));
+        // A rejected submission means the pool is shutting down; dropping
+        // the job closes the stream, which is the right refusal.
+        let _ = pool.submit(move || handle_connection(stream, &inner));
     }
 }
 
@@ -337,7 +351,12 @@ fn stat_document(inner: &ServerInner) -> String {
         .iter()
         .zip(&inner.queues)
         .map(|(snapshot, queue)| {
-            let snap = snapshot.lock().expect("shard snapshot").clone();
+            // Recover poison: STAT is the "observability survives
+            // overload" path, and a worker panic must not take it down.
+            let snap = snapshot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
             snap.to_json(queue.depth())
         })
         .collect();

@@ -30,9 +30,9 @@ use dcode_codec::CacheStats;
 use dcode_core::layout::CodeLayout;
 use dcode_core::Fnv1a;
 use dcode_faults::{DiskBackend, DiskError};
+use minisim::sync::{mpsc, Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::PoisonError;
 use std::time::Instant;
 
 /// The backend type shards store behind: any [`DiskBackend`] that can move
@@ -125,7 +125,8 @@ pub fn build_store(
 
 /// One queued operation (`Stat` never enters a queue — it is served from
 /// published snapshots so an overloaded shard cannot block observability).
-pub(crate) enum ShardOp {
+#[allow(missing_docs)]
+pub enum ShardOp {
     Put { name: String, value: Vec<u8> },
     Get { name: String },
     Delete { name: String },
@@ -135,9 +136,12 @@ pub(crate) enum ShardOp {
 /// A queued operation plus its reply channel and enqueue timestamp (the
 /// latency histograms measure enqueue → completion, so queueing delay is
 /// part of the reported number — that is the latency a client feels).
-pub(crate) struct ShardJob {
+pub struct ShardJob {
+    /// The operation to run on the shard's store.
     pub op: ShardOp,
+    /// When the job entered the queue.
     pub queued_at: Instant,
+    /// Where the worker sends the response.
     pub reply: mpsc::Sender<Response>,
 }
 
@@ -149,30 +153,50 @@ struct QueueInner {
 
 /// The bounded MPSC queue between connection handlers and one shard
 /// worker.
-pub(crate) struct ShardQueue {
+///
+/// Built on the `minisim` facade so `dcode-race` model-checks this exact
+/// code. The locks recover from poisoning (`PoisonError::into_inner`): a
+/// panicking worker must not take queue-depth sampling — part of the
+/// STAT observability path — down with it.
+pub struct ShardQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
     cap: usize,
 }
 
 impl ShardQueue {
+    /// A queue admitting at most `cap` jobs.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero (a queue that can never admit a job).
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
         ShardQueue {
-            inner: Mutex::new(QueueInner {
-                jobs: VecDeque::new(),
-                stalled: false,
-                shutdown: false,
-            }),
-            ready: Condvar::new(),
+            inner: Mutex::named(
+                "server.shard.queue",
+                QueueInner {
+                    jobs: VecDeque::new(),
+                    stalled: false,
+                    shutdown: false,
+                },
+            ),
+            ready: Condvar::named("server.shard.ready"),
             cap,
         }
     }
 
+    fn lock(&self) -> minisim::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Enqueue if there is room; on a full queue return the depth at
     /// rejection instead of blocking.
+    ///
+    /// # Errors
+    /// Returns the depth observed at rejection when the queue is full or
+    /// shutting down.
     pub fn try_push(&self, job: ShardJob) -> Result<(), usize> {
-        let mut inner = self.inner.lock().expect("shard queue");
+        let mut inner = self.lock();
         if inner.shutdown || inner.jobs.len() >= self.cap {
             return Err(inner.jobs.len());
         }
@@ -184,14 +208,14 @@ impl ShardQueue {
 
     /// Current queue depth.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("shard queue").jobs.len()
+        self.lock().jobs.len()
     }
 
     /// Park (or release) the worker without touching the store — the test
     /// hook that makes `Busy` deterministic: stall, fill the queue past
     /// `cap`, observe the rejection, release.
     pub fn set_stalled(&self, stalled: bool) {
-        self.inner.lock().expect("shard queue").stalled = stalled;
+        self.lock().stalled = stalled;
         self.ready.notify_all();
     }
 
@@ -199,13 +223,13 @@ impl ShardQueue {
     /// jobs are dropped; their reply channels close, and waiting handlers
     /// report the shutdown. Nothing already acknowledged is affected.
     pub fn shutdown(&self) {
-        self.inner.lock().expect("shard queue").shutdown = true;
+        self.lock().shutdown = true;
         self.ready.notify_all();
     }
 
     /// Blocking pop; `None` means shutdown.
     fn pop(&self) -> Option<ShardJob> {
-        let mut inner = self.inner.lock().expect("shard queue");
+        let mut inner = self.lock();
         loop {
             if inner.shutdown {
                 return None;
@@ -215,7 +239,10 @@ impl ShardQueue {
                     return Some(job);
                 }
             }
-            inner = self.ready.wait(inner).expect("shard queue");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -286,45 +313,33 @@ impl ShardSnapshot {
 pub(crate) struct Shard {
     pub queue: Arc<ShardQueue>,
     pub snapshot: Arc<Mutex<ShardSnapshot>>,
-    pub worker: std::thread::JoinHandle<()>,
+    pub worker: minisim::thread::JoinHandle<()>,
 }
 
-/// Spawn the worker thread for one shard.
-pub(crate) fn spawn_shard(
+/// What a shard worker runs: the storage half of the worker loop,
+/// separated from the concurrency skeleton so the *real* loop — pop,
+/// execute, metrics, publish-before-reply, shutdown drain — is generic
+/// and model-checkable by `dcode-race` with a stub engine, while
+/// production uses [`StoreEngine`] over a `ResilientArray`-backed store.
+pub trait ShardEngine: Send + 'static {
+    /// Run one operation to completion against the shard's storage.
+    fn execute(&mut self, op: &ShardOp) -> Response;
+    /// A fresh observable-state snapshot after `ops_done` completed ops.
+    fn snapshot(&self, ops_done: u64) -> ShardSnapshot;
+}
+
+/// The production engine: a [`ShardStore`] plus the shard id used in
+/// scrub reports.
+pub struct StoreEngine {
     id: usize,
     store: ShardStore,
-    queue_cap: usize,
-    metrics: Arc<ServerMetrics>,
-) -> Shard {
-    let queue = Arc::new(ShardQueue::new(queue_cap));
-    let snapshot = Arc::new(Mutex::new(ShardSnapshot::default()));
-    publish(&snapshot, &store, 0);
-    let worker = {
-        let queue = Arc::clone(&queue);
-        let snapshot = Arc::clone(&snapshot);
-        std::thread::Builder::new()
-            .name(format!("dcode-shard-{id}"))
-            .spawn(move || worker_loop(id, store, &queue, &snapshot, &metrics))
-            .expect("spawn shard worker")
-    };
-    Shard {
-        queue,
-        snapshot,
-        worker,
-    }
 }
 
-fn publish(snapshot: &Mutex<ShardSnapshot>, store: &ShardStore, ops_done: u64) {
-    let array = store.array();
-    let snap = ShardSnapshot {
-        objects: store.list().len(),
-        ops_done,
-        stats: array.stats().clone(),
-        cache: array.schedule_stats(),
-        failed_slots: array.failed_slots(),
-        spares_remaining: array.spares_remaining(),
-    };
-    *snapshot.lock().expect("shard snapshot") = snap;
+impl StoreEngine {
+    /// Wrap a store as shard `id`'s engine.
+    pub fn new(id: usize, store: ShardStore) -> Self {
+        StoreEngine { id, store }
+    }
 }
 
 fn store_error_response(e: &StoreError) -> Response {
@@ -334,70 +349,135 @@ fn store_error_response(e: &StoreError) -> Response {
     }
 }
 
-fn worker_loop(
-    id: usize,
-    mut store: ShardStore,
-    queue: &ShardQueue,
-    snapshot: &Mutex<ShardSnapshot>,
-    metrics: &ServerMetrics,
-) {
-    use std::sync::atomic::Ordering::Relaxed;
-    let mut ops_done = 0u64;
-    while let Some(job) = queue.pop() {
-        let response = match &job.op {
-            ShardOp::Put { name, value } => match store.upsert(name, value) {
-                Ok(()) => {
-                    metrics.ops.puts.fetch_add(1, Relaxed);
-                    Response::Ok
-                }
-                Err(e) => {
-                    metrics.ops.errors.fetch_add(1, Relaxed);
-                    store_error_response(&e)
-                }
+impl ShardEngine for StoreEngine {
+    fn execute(&mut self, op: &ShardOp) -> Response {
+        match op {
+            ShardOp::Put { name, value } => match self.store.upsert(name, value) {
+                Ok(()) => Response::Ok,
+                Err(e) => store_error_response(&e),
             },
-            ShardOp::Get { name } => match store.get(name) {
-                Ok(bytes) => {
-                    metrics.ops.gets.fetch_add(1, Relaxed);
-                    Response::Value(bytes)
-                }
-                Err(StoreError::NotFound(_)) => {
-                    metrics.ops.not_found.fetch_add(1, Relaxed);
-                    Response::NotFound
-                }
-                Err(e) => {
-                    metrics.ops.errors.fetch_add(1, Relaxed);
-                    Response::Err(e.to_string())
-                }
+            ShardOp::Get { name } => match self.store.get(name) {
+                Ok(bytes) => Response::Value(bytes),
+                Err(StoreError::NotFound(_)) => Response::NotFound,
+                Err(e) => Response::Err(e.to_string()),
             },
-            ShardOp::Delete { name } => match store.delete(name) {
-                Ok(()) => {
-                    metrics.ops.deletes.fetch_add(1, Relaxed);
-                    Response::Ok
-                }
-                Err(StoreError::NotFound(_)) => {
-                    metrics.ops.not_found.fetch_add(1, Relaxed);
-                    Response::NotFound
-                }
-                Err(e) => {
-                    metrics.ops.errors.fetch_add(1, Relaxed);
-                    Response::Err(e.to_string())
-                }
+            ShardOp::Delete { name } => match self.store.delete(name) {
+                Ok(()) => Response::Ok,
+                Err(StoreError::NotFound(_)) => Response::NotFound,
+                Err(e) => Response::Err(e.to_string()),
             },
-            ShardOp::Scrub => match store.array_mut().scrub_pass() {
+            ShardOp::Scrub => match self.store.array_mut().scrub_pass() {
                 Ok(summary) => Response::Report(format!(
-                    "{{\"shard\":{id},\"stripes\":{},\"checksum_catches\":{},\
+                    "{{\"shard\":{},\"stripes\":{},\"checksum_catches\":{},\
                      \"degraded_reads\":{},\"read_repairs\":{}}}",
+                    self.id,
                     summary.stripes,
                     summary.checksum_catches,
                     summary.degraded_reads,
                     summary.read_repairs,
                 )),
-                Err(e) => {
-                    metrics.ops.errors.fetch_add(1, Relaxed);
-                    Response::Err(format!("shard {id} scrub: {}", json_escape(&e.to_string())))
-                }
+                Err(e) => Response::Err(format!(
+                    "shard {} scrub: {}",
+                    self.id,
+                    json_escape(&e.to_string())
+                )),
             },
-        };
+        }
+    }
+
+    fn snapshot(&self, ops_done: u64) -> ShardSnapshot {
+        let array = self.store.array();
+        ShardSnapshot {
+            objects: self.store.list().len(),
+            ops_done,
+            stats: array.stats().clone(),
+            cache: array.schedule_stats(),
+            failed_slots: array.failed_slots(),
+            spares_remaining: array.spares_remaining(),
+        }
+    }
+}
+
+/// Spawn the worker thread for one shard over the production engine.
+pub(crate) fn spawn_shard(
+    id: usize,
+    store: ShardStore,
+    queue_cap: usize,
+    metrics: Arc<ServerMetrics>,
+) -> Shard {
+    let queue = Arc::new(ShardQueue::new(queue_cap));
+    let snapshot = Arc::new(Mutex::named(
+        "server.shard.snapshot",
+        ShardSnapshot::default(),
+    ));
+    let engine = StoreEngine::new(id, store);
+    let worker = spawn_engine_worker(
+        format!("dcode-shard-{id}"),
+        engine,
+        Arc::clone(&queue),
+        Arc::clone(&snapshot),
+        metrics,
+    );
+    Shard {
+        queue,
+        snapshot,
+        worker,
+    }
+}
+
+/// Spawn a shard worker over any [`ShardEngine`]. Publishes an initial
+/// snapshot before the first pop so STAT never observes a default
+/// snapshot from a live shard.
+pub fn spawn_engine_worker<E: ShardEngine>(
+    name: String,
+    engine: E,
+    queue: Arc<ShardQueue>,
+    snapshot: Arc<Mutex<ShardSnapshot>>,
+    metrics: Arc<ServerMetrics>,
+) -> minisim::thread::JoinHandle<()> {
+    publish(&snapshot, engine.snapshot(0));
+    minisim::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(engine, &queue, &snapshot, &metrics))
+        .expect("spawn shard worker")
+}
+
+fn publish(snapshot: &Mutex<ShardSnapshot>, snap: ShardSnapshot) {
+    // The engine snapshot is computed by the caller, so this lock is
+    // never held across storage code — a panicking engine cannot poison
+    // it. If something else poisoned it, recover: STAT must survive.
+    *snapshot.lock().unwrap_or_else(PoisonError::into_inner) = snap;
+}
+
+/// Update op counters from the (request, response) pair. Centralized so
+/// the stub engines used by the model checker account identically to
+/// production.
+fn record_op_metrics(metrics: &ServerMetrics, op: &ShardOp, response: &Response) {
+    use std::sync::atomic::Ordering::Relaxed;
+    match (op, response) {
+        (ShardOp::Put { .. }, Response::Ok) => metrics.ops.puts.fetch_add(1, Relaxed),
+        (ShardOp::Put { .. }, _) => metrics.ops.errors.fetch_add(1, Relaxed),
+        (ShardOp::Get { .. }, Response::Value(_)) => metrics.ops.gets.fetch_add(1, Relaxed),
+        (ShardOp::Get { .. }, Response::NotFound) => metrics.ops.not_found.fetch_add(1, Relaxed),
+        (ShardOp::Get { .. }, _) => metrics.ops.errors.fetch_add(1, Relaxed),
+        (ShardOp::Delete { .. }, Response::Ok) => metrics.ops.deletes.fetch_add(1, Relaxed),
+        (ShardOp::Delete { .. }, Response::NotFound) => metrics.ops.not_found.fetch_add(1, Relaxed),
+        (ShardOp::Delete { .. }, _) => metrics.ops.errors.fetch_add(1, Relaxed),
+        (ShardOp::Scrub, Response::Report(_)) => 0,
+        (ShardOp::Scrub, _) => metrics.ops.errors.fetch_add(1, Relaxed),
+    };
+}
+
+fn worker_loop<E: ShardEngine>(
+    mut engine: E,
+    queue: &ShardQueue,
+    snapshot: &Mutex<ShardSnapshot>,
+    metrics: &ServerMetrics,
+) {
+    let mut ops_done = 0u64;
+    while let Some(job) = queue.pop() {
+        let response = engine.execute(&job.op);
+        record_op_metrics(metrics, &job.op, &response);
         #[allow(clippy::cast_possible_truncation)]
         let us = job.queued_at.elapsed().as_micros() as u64;
         match &job.op {
@@ -410,8 +490,10 @@ fn worker_loop(
         // Publish before replying, so anything observable after an ack
         // (snapshot included) already reflects the acked operation; the
         // ack itself comes after the store completed it — an acknowledged
-        // PUT is durable in the array before the client sees OK.
-        publish(snapshot, &store, ops_done);
+        // PUT is durable in the array before the client sees OK. This
+        // ordering is the ack-after-durable invariant dcode-race
+        // model-checks.
+        publish(snapshot, engine.snapshot(ops_done));
         let _ = job.reply.send(response);
     }
 }

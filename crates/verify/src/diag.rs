@@ -158,6 +158,37 @@ pub enum DiagKind {
         /// The planner's error message.
         reason: String,
     },
+    /// Lock discipline: the runtime lock-acquisition order graph contains
+    /// a cycle — two threads taking these locks in opposite orders can
+    /// deadlock. Reported by `dcode race` from the `minisim` lock-order
+    /// registry.
+    LockOrderCycle {
+        /// The cycle as a lock-name chain; the last entry is acquired
+        /// while the first is held, closing the loop.
+        chain: Vec<String>,
+    },
+    /// Lock discipline: a thread parked on a condvar while still holding
+    /// *other* locks — everything in `held` stays locked for the whole
+    /// wait, an easy route to convoying or deadlock.
+    CondvarWaitWhileHolding {
+        /// The condvar waited on.
+        condvar: String,
+        /// The lock the wait atomically released (the condvar's paired
+        /// mutex).
+        released: String,
+        /// Locks still held across the wait.
+        held: Vec<String>,
+    },
+    /// Lock discipline: a lock was held longer than the hold-time budget,
+    /// so threads queueing behind it stall for that long.
+    LongLockHold {
+        /// The lock's registered name.
+        lock: String,
+        /// The longest observed hold in microseconds.
+        micros: u64,
+        /// The budget it exceeded, in microseconds.
+        budget_micros: u64,
+    },
 }
 
 /// One finding from one verification pass.
@@ -285,6 +316,29 @@ impl fmt::Display for Diagnostic {
             DiagKind::PlanFailed { failed, reason } => {
                 write!(f, "no recovery plan for disks {failed:?}: {reason}")
             }
+            DiagKind::LockOrderCycle { chain } => write!(
+                f,
+                "lock-order cycle: {} -> {}",
+                chain.join(" -> "),
+                chain.first().map_or("?", String::as_str)
+            ),
+            DiagKind::CondvarWaitWhileHolding {
+                condvar,
+                released,
+                held,
+            } => write!(
+                f,
+                "condvar {condvar} waited (releasing {released}) while still holding [{}]",
+                held.join(", ")
+            ),
+            DiagKind::LongLockHold {
+                lock,
+                micros,
+                budget_micros,
+            } => write!(
+                f,
+                "lock {lock} held for {micros}us (budget {budget_micros}us)"
+            ),
         }
     }
 }

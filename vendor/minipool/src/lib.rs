@@ -32,12 +32,19 @@
 //! Jobs must not submit to the pool they run on (a worker blocking on its
 //! own queue can deadlock once every worker does it). The executors in
 //! this workspace only ever submit from non-pool threads.
+//!
+//! The pool's primitives come from the `minisim` sync facade: in
+//! production they delegate straight to `std::sync`, and under
+//! `minisim::check` the same code runs against a deterministic scheduler
+//! that exhaustively model-checks its interleavings (`dcode-race` is the
+//! suite doing so). The named locks also feed minisim's lock-order
+//! registry when it is enabled.
 
+use minisim::sync::{mpsc, Arc, Condvar, Mutex};
+use minisim::thread::JoinHandle;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::OnceLock;
 
 /// Type-erased unit of work as stored on the queue.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -73,13 +80,16 @@ impl WorkerPool {
     pub fn new() -> Self {
         WorkerPool {
             shared: Arc::new(Shared {
-                state: Mutex::new(QueueState {
-                    jobs: VecDeque::new(),
-                    shutdown: false,
-                }),
-                available: Condvar::new(),
+                state: Mutex::named(
+                    "pool.queue",
+                    QueueState {
+                        jobs: VecDeque::new(),
+                        shutdown: false,
+                    },
+                ),
+                available: Condvar::named("pool.available"),
             }),
-            workers: Mutex::new(Vec::new()),
+            workers: Mutex::named("pool.workers", Vec::new()),
         }
     }
 
@@ -102,7 +112,7 @@ impl WorkerPool {
         let mut workers = self.workers.lock().expect("pool worker list");
         while workers.len() < n {
             let shared = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
+            let handle = minisim::thread::Builder::new()
                 .name(format!("minipool-{}", workers.len()))
                 .spawn(move || worker_loop(&shared))
                 .expect("spawn pool worker");
@@ -181,16 +191,27 @@ impl WorkerPool {
     /// The pool is grown to at least one worker so a submission can never
     /// be stranded on an empty pool; size the pool for the expected
     /// concurrency with [`WorkerPool::ensure_workers`] up front.
-    pub fn submit<F>(&self, job: F)
+    ///
+    /// # Errors
+    /// Returns the job back if the pool has started shutting down (its
+    /// `Drop` is running or done): a job queued after shutdown would
+    /// never run, and before this check a `submit` racing `Drop` could
+    /// strand the job on a dead queue. Model-checked by `dcode-race`'s
+    /// submit-vs-drop invariant.
+    pub fn submit<F>(&self, job: F) -> Result<(), F>
     where
         F: FnOnce() + Send + 'static,
     {
         self.ensure_workers(1);
         {
             let mut state = self.shared.state.lock().expect("pool queue");
+            if state.shutdown {
+                return Err(job);
+            }
             state.jobs.push_back(Box::new(job));
         }
         self.shared.available.notify_one();
+        Ok(())
     }
 }
 
@@ -361,12 +382,18 @@ mod tests {
         let t1 = tx.clone();
         pool.submit(move || {
             t1.send(1u32).unwrap();
-        });
-        pool.submit(|| panic!("detached job explodes"));
+        })
+        .ok()
+        .expect("live pool accepts jobs");
+        pool.submit(|| panic!("detached job explodes"))
+            .ok()
+            .expect("live pool accepts jobs");
         let t2 = tx;
         pool.submit(move || {
             t2.send(2u32).unwrap();
-        });
+        })
+        .ok()
+        .expect("live pool accepts jobs");
         let mut got: Vec<u32> = (0..2).map(|_| rx.recv().unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2], "jobs after a panic still ran");
@@ -378,7 +405,9 @@ mod tests {
     fn submit_on_an_empty_pool_grows_one_worker() {
         let pool = WorkerPool::new();
         let (tx, rx) = mpsc::channel();
-        pool.submit(move || tx.send(42u32).unwrap());
+        pool.submit(move || tx.send(42u32).unwrap())
+            .ok()
+            .expect("live pool accepts jobs");
         assert_eq!(rx.recv().unwrap(), 42);
         assert!(pool.workers() >= 1);
     }

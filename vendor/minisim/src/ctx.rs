@@ -1,0 +1,31 @@
+//! Thread-local binding between an OS thread and the [`Execution`] it is
+//! acting in. This is the dual-mode switch: facade primitives consult
+//! [`current`] and either route through the deterministic scheduler (the
+//! thread is sim-managed) or delegate straight to `std::sync` (it is
+//! not). Production code pays one TLS lookup and a branch.
+
+use crate::exec::{Execution, Tid};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The execution this thread acts in, if any.
+pub(crate) fn current() -> Option<(Arc<Execution>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread is managed by a model-check execution.
+pub fn in_sim() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn set(exec: Arc<Execution>, tid: Tid) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}

@@ -1,0 +1,621 @@
+//! The deterministic execution engine behind [`crate::check`].
+//!
+//! One [`Execution`] is one interleaving: real OS threads run the model,
+//! but at every *visible operation* (lock, unlock, condvar wait/notify,
+//! spawn, join, finish) the acting thread stops and a scheduling decision
+//! picks which thread performs the next visible op. Exactly one managed
+//! thread is unparked at any instant, so the whole execution is a
+//! deterministic function of the decision vector — which is what makes
+//! counterexamples replayable from a seed.
+//!
+//! Decisions are recorded as [`Choice`]s; the driver in `lib.rs` explores
+//! the decision tree depth-first with a preemption bound (alternatives
+//! that switch away from a still-runnable thread are only enumerated
+//! while the path's preemption budget lasts — the CHESS insight that most
+//! concurrency bugs need very few preemptions).
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Index of a managed thread within one execution.
+pub(crate) type Tid = usize;
+
+/// The panic payload used to tear threads out of an aborted execution.
+/// Not a user-visible panic: the thread wrapper recognizes and swallows
+/// it.
+pub(crate) struct SimAbort;
+
+/// One recorded scheduling decision: which of `options` alternatives was
+/// taken. Only branching points (`options >= 2`) are recorded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub options: usize,
+}
+
+/// Why an execution failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A managed thread panicked (assertion failure in the model or in
+    /// the code under check).
+    Panic,
+    /// No thread was runnable but some were still blocked — a deadlock
+    /// or a lost wakeup.
+    Deadlock,
+    /// The execution exceeded the per-interleaving step budget.
+    StepLimit,
+    /// A replayed schedule diverged from the model (the model is
+    /// nondeterministic beyond its scheduling — e.g. real-time control
+    /// flow or unordered iteration).
+    ScheduleDivergence,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ViolationKind::Panic => "panic",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::StepLimit => "step-limit",
+            ViolationKind::ScheduleDivergence => "schedule-divergence",
+        })
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedLock(u64),
+    BlockedCond(u64),
+    BlockedJoin(Tid),
+    Finished,
+}
+
+struct ThreadRec {
+    name: String,
+    status: Status,
+    joiners: Vec<Tid>,
+}
+
+#[derive(Default)]
+struct LockState {
+    owner: Option<Tid>,
+    waiters: Vec<Tid>,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadRec>,
+    current: Option<Tid>,
+    locks: BTreeMap<u64, LockState>,
+    /// Condvar id → waiting (thread, the lock it must re-acquire).
+    conds: BTreeMap<u64, Vec<(Tid, u64)>>,
+    /// The decision vector: a replayed prefix plus extensions made by
+    /// this execution.
+    schedule: Vec<Choice>,
+    /// Next decision index; below `schedule.len()` we are replaying.
+    pos: usize,
+    preemptions: usize,
+    spurious_left: usize,
+    steps: u64,
+    live: usize,
+    aborted: bool,
+    done: bool,
+    violation: Option<(ViolationKind, String)>,
+    trace: Option<Vec<String>>,
+}
+
+/// Budgets for one execution (shared by every execution of a check run).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct ExecBudget {
+    pub preemption_bound: usize,
+    pub spurious_wakeups: usize,
+    pub max_steps: u64,
+}
+
+/// One interleaving in flight. Shared (via `Arc`) between the driver and
+/// every managed thread of the execution.
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    /// Parked managed threads wait here for `current == me || aborted`.
+    cv: StdCondvar,
+    /// The driver waits here for `live == 0`.
+    driver: StdCondvar,
+    budget: ExecBudget,
+}
+
+fn lock_state(m: &StdMutex<ExecState>) -> std::sync::MutexGuard<'_, ExecState> {
+    // The engine never panics while holding its own state lock, but a
+    // poisoned guard here must not cascade during teardown.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Execution {
+    /// A fresh execution that will replay `prefix` and then extend it
+    /// with first-option decisions.
+    pub fn new(prefix: Vec<Choice>, budget: ExecBudget, record_trace: bool) -> Execution {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                current: None,
+                locks: BTreeMap::new(),
+                conds: BTreeMap::new(),
+                schedule: prefix,
+                pos: 0,
+                preemptions: 0,
+                spurious_left: budget.spurious_wakeups,
+                steps: 0,
+                live: 0,
+                aborted: false,
+                done: false,
+                violation: None,
+                trace: record_trace.then(Vec::new),
+            }),
+            cv: StdCondvar::new(),
+            driver: StdCondvar::new(),
+            budget,
+        }
+    }
+
+    /// Register the root thread (tid 0) and make it current so its first
+    /// grant passes immediately.
+    pub fn register_root(&self) -> Tid {
+        let mut st = lock_state(&self.state);
+        assert!(st.threads.is_empty(), "root registered twice");
+        st.threads.push(ThreadRec {
+            name: "main".to_string(),
+            status: Status::Runnable,
+            joiners: Vec::new(),
+        });
+        st.live = 1;
+        st.current = Some(0);
+        0
+    }
+
+    /// Register a child thread spawned by the (currently running)
+    /// `parent`. The child starts runnable but not current.
+    pub fn register_child(&self, parent: Tid, name: &str) -> Tid {
+        let mut st = lock_state(&self.state);
+        let tid = st.threads.len();
+        st.threads.push(ThreadRec {
+            name: name.to_string(),
+            status: Status::Runnable,
+            joiners: Vec::new(),
+        });
+        st.live += 1;
+        self.trace(&mut st, parent, &format!("spawn t{tid}({name})"));
+        tid
+    }
+
+    /// Park until this thread is scheduled for the first time.
+    pub fn first_grant(&self, me: Tid) {
+        let st = lock_state(&self.state);
+        self.park(st, me);
+    }
+
+    /// The visible-op epilogue after `register_child`: the parent offers
+    /// the scheduler a switch point that may run the child immediately.
+    pub fn after_spawn(&self, me: Tid) {
+        let st = lock_state(&self.state);
+        self.schedule_next(st, me, true);
+    }
+
+    // ---- mutex ---------------------------------------------------------
+
+    /// Acquire facade lock `id`. Returns once this thread owns it (at the
+    /// simulation level; the caller then takes the std lock, which is
+    /// uncontended by construction).
+    pub fn lock_acquire(&self, me: Tid, id: u64, name: &str) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            Self::raise_abort(st);
+            return;
+        }
+        self.trace(&mut st, me, &format!("lock {name}"));
+        let lock = st.locks.entry(id).or_default();
+        if lock.owner.is_none() {
+            lock.owner = Some(me);
+            self.schedule_next(st, me, true);
+        } else {
+            lock.waiters.push(me);
+            st.threads[me].status = Status::BlockedLock(id);
+            self.schedule_next(st, me, true);
+        }
+    }
+
+    /// Release facade lock `id`; if threads are queued on it, a decision
+    /// picks which one receives ownership.
+    pub fn lock_release(&self, me: Tid, id: u64, name: &str) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            Self::raise_abort(st);
+            return;
+        }
+        self.trace(&mut st, me, &format!("unlock {name}"));
+        self.release_lock_inner(&mut st, id);
+        self.schedule_next(st, me, true);
+    }
+
+    /// Owner-clearing + handoff, shared by unlock and condvar wait.
+    fn release_lock_inner(&self, st: &mut ExecState, id: u64) {
+        let waiting = st.locks.get(&id).map_or(0, |l| l.waiters.len());
+        if waiting == 0 {
+            if let Some(l) = st.locks.get_mut(&id) {
+                l.owner = None;
+            }
+            return;
+        }
+        let pick = self.decide(st, waiting);
+        let lock = st.locks.get_mut(&id).expect("lock exists");
+        let next = lock.waiters.remove(pick);
+        lock.owner = Some(next);
+        st.threads[next].status = Status::Runnable;
+    }
+
+    /// Queue `tid` for lock `id`, granting immediately if it is free.
+    fn enqueue_lock_waiter(st: &mut ExecState, tid: Tid, id: u64) {
+        let lock = st.locks.entry(id).or_default();
+        if lock.owner.is_none() {
+            lock.owner = Some(tid);
+            st.threads[tid].status = Status::Runnable;
+        } else {
+            lock.waiters.push(tid);
+            st.threads[tid].status = Status::BlockedLock(id);
+        }
+    }
+
+    // ---- condvar -------------------------------------------------------
+
+    /// Atomically release `lock_id` and wait on condvar `cv_id`; returns
+    /// once re-granted the lock. A decision may deliver a spurious wakeup
+    /// (while the execution's budget lasts), modeling the std contract
+    /// that `Condvar::wait` can return without a notification.
+    pub fn cond_wait(&self, me: Tid, cv_id: u64, cv_name: &str, lock_id: u64) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            Self::raise_abort(st);
+            return;
+        }
+        self.trace(&mut st, me, &format!("wait {cv_name}"));
+        self.release_lock_inner(&mut st, lock_id);
+        let spurious = st.spurious_left > 0 && self.decide(&mut st, 2) == 1;
+        if spurious {
+            st.spurious_left -= 1;
+            self.trace(&mut st, me, &format!("spurious-wake {cv_name}"));
+            Self::enqueue_lock_waiter(&mut st, me, lock_id);
+        } else {
+            st.conds.entry(cv_id).or_default().push((me, lock_id));
+            st.threads[me].status = Status::BlockedCond(cv_id);
+        }
+        self.schedule_next(st, me, true);
+    }
+
+    /// Wake one waiter (a decision picks which); it moves to the lock's
+    /// wait queue, exactly like std's contract.
+    pub fn cond_notify_one(&self, me: Tid, cv_id: u64, cv_name: &str) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            Self::raise_abort(st);
+            return;
+        }
+        self.trace(&mut st, me, &format!("notify_one {cv_name}"));
+        let waiting = st.conds.get(&cv_id).map_or(0, Vec::len);
+        if waiting > 0 {
+            let pick = self.decide(&mut st, waiting);
+            let (tid, lock_id) = st
+                .conds
+                .get_mut(&cv_id)
+                .expect("condvar exists")
+                .remove(pick);
+            Self::enqueue_lock_waiter(&mut st, tid, lock_id);
+        }
+        self.schedule_next(st, me, true);
+    }
+
+    /// Wake every waiter; all move to their locks' wait queues.
+    pub fn cond_notify_all(&self, me: Tid, cv_id: u64, cv_name: &str) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            Self::raise_abort(st);
+            return;
+        }
+        self.trace(&mut st, me, &format!("notify_all {cv_name}"));
+        let waiters = st
+            .conds
+            .get_mut(&cv_id)
+            .map(std::mem::take)
+            .unwrap_or_default();
+        for (tid, lock_id) in waiters {
+            Self::enqueue_lock_waiter(&mut st, tid, lock_id);
+        }
+        self.schedule_next(st, me, true);
+    }
+
+    // ---- join / finish -------------------------------------------------
+
+    /// Block until `target` finishes (the real `join` that follows
+    /// returns promptly).
+    pub fn join_begin(&self, me: Tid, target: Tid) {
+        let mut st = lock_state(&self.state);
+        if st.aborted {
+            Self::raise_abort(st);
+            return;
+        }
+        let target_name = st.threads[target].name.clone();
+        self.trace(&mut st, me, &format!("join t{target}({target_name})"));
+        if st.threads[target].status != Status::Finished {
+            st.threads[target].joiners.push(me);
+            st.threads[me].status = Status::BlockedJoin(target);
+        }
+        self.schedule_next(st, me, true);
+    }
+
+    /// Thread `me` is done (its wrapper is about to return). `panicked`
+    /// carries the rendered payload of a non-[`SimAbort`] panic, which is
+    /// always a violation: the code under check asserted or crashed.
+    pub fn finish(&self, me: Tid, panicked: Option<String>) {
+        let mut st = lock_state(&self.state);
+        st.threads[me].status = Status::Finished;
+        st.live -= 1;
+        let joiners = std::mem::take(&mut st.threads[me].joiners);
+        for j in joiners {
+            st.threads[j].status = Status::Runnable;
+        }
+        self.trace(&mut st, me, "finish");
+        if !st.aborted {
+            if let Some(msg) = panicked {
+                let name = st.threads[me].name.clone();
+                self.fail(
+                    &mut st,
+                    ViolationKind::Panic,
+                    format!("t{me}({name}) panicked: {msg}"),
+                );
+            }
+        }
+        if st.live == 0 {
+            st.done = true;
+            self.driver.notify_all();
+            self.cv.notify_all();
+            return;
+        }
+        if st.aborted {
+            return;
+        }
+        // `raise_abort = false`: this runs outside the wrapper's
+        // catch_unwind, so a violation detected here (e.g. the last
+        // finisher leaving others blocked) must report and return, not
+        // panic.
+        self.schedule_next(st, me, false);
+    }
+
+    // ---- scheduling core -----------------------------------------------
+
+    /// Record (or replay) one decision among `options` alternatives.
+    fn decide(&self, st: &mut ExecState, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if st.pos < st.schedule.len() {
+            let c = st.schedule[st.pos];
+            st.pos += 1;
+            // Seeds decoded from a string carry `usize::MAX` as a
+            // "options unknown" marker — only the chosen branch is
+            // validated for those.
+            if (c.options != usize::MAX && c.options != options) || c.chosen >= options {
+                self.fail(
+                    st,
+                    ViolationKind::ScheduleDivergence,
+                    format!(
+                        "decision {} expected {} options, model offered {options}",
+                        st.pos - 1,
+                        c.options
+                    ),
+                );
+                return 0;
+            }
+            c.chosen
+        } else {
+            st.schedule.push(Choice { chosen: 0, options });
+            st.pos += 1;
+            0
+        }
+    }
+
+    /// Pick the next thread to run after a visible op by `me`, then park
+    /// `me` until it is scheduled again (or the execution aborts).
+    ///
+    /// With `raise_abort` set, an aborted execution tears `me` out of the
+    /// model via [`SimAbort`] instead of returning. Parked threads unwind
+    /// from [`Self::park`], but the thread that was *running* when the
+    /// violation fired (usually the one that detected it) never parks —
+    /// returning it into the model would let a predicate loop like
+    /// `while !ready { cv.wait(..) }` spin forever against facade calls
+    /// that have become no-ops.
+    fn schedule_next(
+        &self,
+        mut st: std::sync::MutexGuard<'_, ExecState>,
+        me: Tid,
+        raise_abort: bool,
+    ) {
+        if st.aborted {
+            if raise_abort {
+                Self::raise_abort(st);
+            }
+            return;
+        }
+        st.steps += 1;
+        if st.steps > self.budget.max_steps {
+            self.fail(
+                &mut st,
+                ViolationKind::StepLimit,
+                format!(
+                    "exceeded {} steps in one interleaving",
+                    self.budget.max_steps
+                ),
+            );
+            if raise_abort {
+                Self::raise_abort(st);
+            }
+            return;
+        }
+        let runnable: Vec<Tid> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        let chosen = if me_runnable {
+            if st.preemptions >= self.budget.preemption_bound {
+                me
+            } else {
+                // Option 0 continues the current thread; switching away
+                // from a runnable thread costs one preemption.
+                let mut options: Vec<Tid> = vec![me];
+                options.extend(runnable.iter().copied().filter(|&t| t != me));
+                let pick = options[self.decide(&mut st, options.len())];
+                if st.aborted {
+                    if raise_abort {
+                        Self::raise_abort(st);
+                    }
+                    return;
+                }
+                if pick != me {
+                    st.preemptions += 1;
+                }
+                pick
+            }
+        } else if runnable.is_empty() {
+            // Nothing can run. Either everything finished (handled in
+            // `finish`) or the remaining threads are blocked forever.
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.status, Status::Finished))
+                .map(|(i, t)| format!("t{i}({}) {}", t.name, describe_block(t.status)))
+                .collect();
+            self.fail(
+                &mut st,
+                ViolationKind::Deadlock,
+                format!("no runnable thread; blocked: [{}]", blocked.join(", ")),
+            );
+            if raise_abort {
+                Self::raise_abort(st);
+            }
+            return;
+        } else {
+            let pick = self.decide(&mut st, runnable.len());
+            if st.aborted {
+                if raise_abort {
+                    Self::raise_abort(st);
+                }
+                return;
+            }
+            runnable[pick]
+        };
+        st.current = Some(chosen);
+        self.cv.notify_all();
+        if chosen != me && st.threads[me].status != Status::Finished {
+            self.park(st, me);
+        }
+    }
+
+    /// Tear the calling thread out of an aborted execution by unwinding
+    /// via [`SimAbort`] (swallowed by the thread wrapper). No-op while
+    /// the thread is already panicking — a second panic from a guard's
+    /// `Drop` during unwind would abort the process.
+    fn raise_abort(st: std::sync::MutexGuard<'_, ExecState>) {
+        drop(st);
+        if !std::thread::panicking() {
+            std::panic::panic_any(SimAbort);
+        }
+    }
+
+    /// Wait until scheduled ( `current == me` ) or aborted.
+    fn park(&self, mut st: std::sync::MutexGuard<'_, ExecState>, me: Tid) {
+        loop {
+            if st.aborted {
+                drop(st);
+                // During an abort every parked thread unwinds out of the
+                // model via SimAbort — unless it is already unwinding, in
+                // which case panicking again would abort the process.
+                if !std::thread::panicking() {
+                    std::panic::panic_any(SimAbort);
+                }
+                return;
+            }
+            if st.current == Some(me) {
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Record a violation and abort the execution: wake every parked
+    /// thread (they unwind via SimAbort) and the driver.
+    fn fail(&self, st: &mut ExecState, kind: ViolationKind, message: String) {
+        if st.violation.is_none() {
+            st.violation = Some((kind, message));
+        }
+        st.aborted = true;
+        st.current = None;
+        self.cv.notify_all();
+        self.driver.notify_all();
+    }
+
+    fn trace(&self, st: &mut ExecState, me: Tid, what: &str) {
+        if st.trace.is_some() {
+            let name = st
+                .threads
+                .get(me)
+                .map_or("?", |t| t.name.as_str())
+                .to_string();
+            if let Some(t) = st.trace.as_mut() {
+                t.push(format!("t{me}({name}) {what}"));
+            }
+        }
+    }
+
+    // ---- driver side ---------------------------------------------------
+
+    /// Block until every managed thread has finished (normally or via
+    /// abort teardown).
+    pub fn wait_done(&self) {
+        let mut st = lock_state(&self.state);
+        while st.live > 0 {
+            st = self
+                .driver
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.done = true;
+    }
+
+    /// The executed decision vector (replayed prefix + extensions).
+    pub fn take_schedule(&self) -> Vec<Choice> {
+        std::mem::take(&mut lock_state(&self.state).schedule)
+    }
+
+    /// The violation, if the execution failed.
+    pub fn violation(&self) -> Option<(ViolationKind, String)> {
+        lock_state(&self.state).violation.clone()
+    }
+
+    /// The recorded trace (empty unless tracing was requested).
+    pub fn take_trace(&self) -> Vec<String> {
+        lock_state(&self.state).trace.take().unwrap_or_default()
+    }
+}
+
+fn describe_block(s: Status) -> String {
+    match s {
+        Status::Runnable => "runnable".to_string(),
+        Status::BlockedLock(id) => format!("waiting for lock #{id}"),
+        Status::BlockedCond(id) => format!("waiting on condvar #{id}"),
+        Status::BlockedJoin(t) => format!("joining t{t}"),
+        Status::Finished => "finished".to_string(),
+    }
+}

@@ -1,0 +1,350 @@
+//! # minisim — a deterministic concurrency model checker
+//!
+//! `minisim` provides `std::sync`-shaped primitives ([`sync::Mutex`],
+//! [`sync::Condvar`], [`sync::mpsc`], [`thread::spawn`]) with two
+//! personalities behind one API:
+//!
+//! * **Production**: on an ordinary thread every operation delegates
+//!   directly to `std::sync` (one thread-local lookup plus a branch of
+//!   overhead), optionally feeding the [`lockorder`] registry when it is
+//!   enabled.
+//! * **Model checking**: inside [`check`], threads spawned through the
+//!   facade are *managed* — exactly one runs at a time, and every
+//!   visible operation (lock, unlock, condvar wait/notify, spawn, join)
+//!   is a scheduling decision. [`check`] explores the decision tree
+//!   depth-first under a bounded-preemption cap, so it *exhaustively
+//!   enumerates* the distinct interleavings of the model up to that
+//!   bound and deterministically reproduces any failure from a seed.
+//!
+//! Detected violations: panics (assertion failures in the model),
+//! deadlocks and lost wakeups (no runnable thread while some are
+//! blocked), condvar waits without a rechecked predicate (surfaced by
+//! injecting budgeted spurious wakeups), and runaway interleavings
+//! (step-limit).
+//!
+//! ```
+//! use minisim::{check, CheckOptions};
+//! use minisim::sync::{Arc, Mutex};
+//!
+//! let report = check(&CheckOptions::default(), || {
+//!     let n = Arc::new(Mutex::new(0_u32));
+//!     let m = Arc::clone(&n);
+//!     let t = minisim::thread::spawn(move || {
+//!         *m.lock().unwrap() += 1;
+//!     });
+//!     *n.lock().unwrap() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*n.lock().unwrap(), 2);
+//! });
+//! assert!(report.violation.is_none());
+//! ```
+//!
+//! The checker is *stateless* in the CDSChecker/loom lineage: it reruns
+//! the model once per interleaving, replaying a recorded decision prefix
+//! and branching at its last unexplored decision. A counterexample seed
+//! (`"p2s1:0.1.0..."`) encodes the budgets and the full decision vector,
+//! and [`replay`] re-executes exactly that interleaving with tracing on.
+
+pub mod ctx;
+mod exec;
+pub mod lockorder;
+pub mod sync;
+pub mod thread;
+
+pub use ctx::in_sim;
+pub use exec::ViolationKind;
+
+use exec::{Choice, ExecBudget, Execution};
+use std::sync::Arc as StdArc;
+
+/// Budgets for one [`check`] run.
+#[derive(Copy, Clone, Debug)]
+pub struct CheckOptions {
+    /// How many times an interleaving may switch away from a thread that
+    /// could have kept running. Most concurrency bugs need ≤ 2
+    /// preemptions (the CHESS observation); raising this grows the tree
+    /// combinatorially.
+    pub preemption_bound: usize,
+    /// How many spurious condvar wakeups may be injected per
+    /// interleaving. One is enough to catch any wait whose predicate is
+    /// not rechecked in a loop.
+    pub spurious_wakeups: usize,
+    /// Stop exploring after this many interleavings (the report is then
+    /// marked incomplete).
+    pub max_interleavings: u64,
+    /// Per-interleaving scheduling-step budget; exceeding it is reported
+    /// as a violation (livelock backstop).
+    pub max_steps: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            preemption_bound: 2,
+            spurious_wakeups: 1,
+            max_interleavings: 50_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// A reproducible counterexample.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable description (panic message, blocked-thread list…).
+    pub message: String,
+    /// Seed reproducing this exact interleaving via [`replay`].
+    pub seed: String,
+    /// The interleaving's visible operations, in order.
+    pub trace: Vec<String>,
+}
+
+/// The outcome of a [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct interleavings executed.
+    pub interleavings: u64,
+    /// True when the decision tree was exhausted (under the preemption
+    /// bound) rather than cut off by `max_interleavings`.
+    pub complete: bool,
+    /// The preemption bound the tree was explored under.
+    pub preemption_bound: usize,
+    /// The first violation found, if any (exploration stops at it).
+    pub violation: Option<Violation>,
+}
+
+/// Model-check `model` by exhaustively exploring its interleavings up to
+/// the bounds in `opts`. The closure is run once per interleaving; it
+/// must be deterministic apart from scheduling (no wall-clock control
+/// flow, no unordered iteration) and must create all of its concurrency
+/// through the [`sync`] / [`thread`] facades.
+///
+/// Returns at the first violation with a seed + trace, or after the tree
+/// (or the interleaving budget) is exhausted.
+///
+/// # Panics
+/// Panics if the model leaks a managed thread past its own completion in
+/// a way that prevents the execution from terminating (the step budget
+/// converts runaway *scheduling* into a reported violation, but a
+/// compute-only infinite loop cannot be interrupted).
+pub fn check<F>(opts: &CheckOptions, model: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_panic_hook();
+    let budget = ExecBudget {
+        preemption_bound: opts.preemption_bound,
+        spurious_wakeups: opts.spurious_wakeups,
+        max_steps: opts.max_steps,
+    };
+    let model = StdArc::new(model);
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut count: u64 = 0;
+    loop {
+        let (schedule, violation) = run_one(prefix, budget, false, &model);
+        count += 1;
+        if let Some((kind, message)) = violation {
+            let seed = encode_seed(budget, &schedule);
+            // Re-run the same schedule with tracing to produce the
+            // counterexample listing.
+            let trace = {
+                let exec = StdArc::new(Execution::new(schedule.clone(), budget, true));
+                drive(&exec, &model);
+                exec.take_trace()
+            };
+            return Report {
+                interleavings: count,
+                complete: false,
+                preemption_bound: opts.preemption_bound,
+                violation: Some(Violation {
+                    kind,
+                    message,
+                    seed,
+                    trace,
+                }),
+            };
+        }
+        match next_prefix(schedule) {
+            Some(p) => {
+                if count >= opts.max_interleavings {
+                    return Report {
+                        interleavings: count,
+                        complete: false,
+                        preemption_bound: opts.preemption_bound,
+                        violation: None,
+                    };
+                }
+                prefix = p;
+            }
+            None => {
+                return Report {
+                    interleavings: count,
+                    complete: true,
+                    preemption_bound: opts.preemption_bound,
+                    violation: None,
+                };
+            }
+        }
+    }
+}
+
+/// Re-execute the single interleaving encoded by `seed` (from
+/// [`Violation::seed`]) with tracing enabled.
+///
+/// # Errors
+/// Returns `Err` when the seed does not parse.
+pub fn replay<F>(seed: &str, model: F) -> Result<Replay, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_panic_hook();
+    let (budget, schedule) = decode_seed(seed)?;
+    let model = StdArc::new(model);
+    let exec = StdArc::new(Execution::new(schedule, budget, true));
+    drive(&exec, &model);
+    Ok(Replay {
+        violation: exec.violation(),
+        trace: exec.take_trace(),
+    })
+}
+
+/// The outcome of a [`replay`].
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// The violation the interleaving reproduces (kind + message), if it
+    /// still fails.
+    pub violation: Option<(ViolationKind, String)>,
+    /// The interleaving's visible operations, in order.
+    pub trace: Vec<String>,
+}
+
+/// One execution: replay `prefix`, extend with first-option decisions,
+/// return the full decision vector and any violation.
+fn run_one<F>(
+    prefix: Vec<Choice>,
+    budget: ExecBudget,
+    record_trace: bool,
+    model: &StdArc<F>,
+) -> (Vec<Choice>, Option<(ViolationKind, String)>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = StdArc::new(Execution::new(prefix, budget, record_trace));
+    drive(&exec, model);
+    (exec.take_schedule(), exec.violation())
+}
+
+/// Spawn the root thread of an execution and wait for every managed
+/// thread to finish.
+fn drive<F>(exec: &StdArc<Execution>, model: &StdArc<F>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let root = exec.register_root();
+    let exec2 = StdArc::clone(exec);
+    let model2 = StdArc::clone(model);
+    let handle = std::thread::Builder::new()
+        .name("minisim-root".to_string())
+        .spawn(move || {
+            thread::run_managed(&exec2, root, move || model2());
+        })
+        .expect("spawn model root thread");
+    exec.wait_done();
+    // All managed threads have run their finish bookkeeping; the root's
+    // OS thread exits immediately after.
+    let _ = handle.join();
+}
+
+/// DFS advance: keep the longest prefix whose last decision has an
+/// unexplored alternative, and take that alternative next.
+fn next_prefix(mut schedule: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = schedule.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return Some(schedule);
+        }
+        schedule.pop();
+    }
+    None
+}
+
+fn encode_seed(budget: ExecBudget, schedule: &[Choice]) -> String {
+    let decisions: Vec<String> = schedule.iter().map(|c| c.chosen.to_string()).collect();
+    format!(
+        "p{}s{}:{}",
+        budget.preemption_bound,
+        budget.spurious_wakeups,
+        decisions.join(".")
+    )
+}
+
+fn decode_seed(seed: &str) -> Result<(ExecBudget, Vec<Choice>), String> {
+    let (head, tail) = seed
+        .split_once(':')
+        .ok_or_else(|| format!("seed `{seed}` has no `:` separator"))?;
+    let head = head
+        .strip_prefix('p')
+        .ok_or_else(|| format!("seed header `{head}` missing `p`"))?;
+    let (pb, sp) = head
+        .split_once('s')
+        .ok_or_else(|| format!("seed header `p{head}` missing `s`"))?;
+    let preemption_bound: usize = pb
+        .parse()
+        .map_err(|_| format!("bad preemption bound `{pb}`"))?;
+    let spurious_wakeups: usize = sp
+        .parse()
+        .map_err(|_| format!("bad spurious budget `{sp}`"))?;
+    let mut schedule = Vec::new();
+    if !tail.is_empty() {
+        for part in tail.split('.') {
+            let chosen: usize = part
+                .parse()
+                .map_err(|_| format!("bad decision `{part}` in seed"))?;
+            // Replay validates the option count against the model; the
+            // encoded vector only needs the chosen branches.
+            schedule.push(Choice {
+                chosen,
+                options: usize::MAX,
+            });
+        }
+    }
+    Ok((
+        ExecBudget {
+            preemption_bound,
+            spurious_wakeups,
+            max_steps: CheckOptions::default().max_steps,
+        },
+        schedule,
+    ))
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" stderr noise for panics inside managed threads —
+/// the checker *expects* panics there (they are violations or SimAbort
+/// teardown) and reports them through [`Report`] instead. Panics on
+/// unmanaged threads go to the previously installed hook untouched.
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !ctx::in_sim() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Render a panic payload for violation messages.
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,258 @@
+//! Runtime lock-order registry: the fully static second tier of the
+//! race analyzer. While [`enable`]d, every *named* facade mutex
+//! acquisition on ordinary (non-managed) threads records a directed
+//! edge `held → acquired` into a process-wide graph, along with maximum
+//! hold times and condvar waits performed while other named locks were
+//! held. [`snapshot`] then reports the graph, its cycles (each cycle is
+//! a potential deadlock: two threads can take the chain's locks in
+//! opposite orders), and the hold-time table.
+//!
+//! Only the *std* path feeds the registry: model-checked executions
+//! deliberately run buggy mutants whose orders must not pollute the
+//! discipline evidence. Anonymous mutexes are also excluded — a lock
+//! order is a property of lock *roles*, which is what names denote.
+//!
+//! The registry is process-global; callers that need isolation (tests)
+//! should serialize [`reset`] → workload → [`snapshot`] sections.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Default)]
+struct Registry {
+    /// `(held, acquired) → times observed`.
+    edges: BTreeMap<(String, String), u64>,
+    /// Longest observed hold, per lock name, in microseconds.
+    max_hold_micros: BTreeMap<String, u64>,
+    /// Condvar waits entered while *other* named locks were held:
+    /// `(condvar, lock released by the wait) → locks still held`.
+    waits_while_holding: BTreeMap<(String, String), Vec<String>>,
+}
+
+fn registry() -> &'static StdMutex<Registry> {
+    static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(Registry::default()))
+}
+
+thread_local! {
+    /// Named locks currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Start recording lock events.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording lock events (already-recorded data is kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// True when the registry is recording.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Clear all recorded data (does not change the enabled flag).
+pub fn reset() {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    *reg = Registry::default();
+}
+
+pub(crate) fn on_acquire(name: &'static str) {
+    if !is_enabled() {
+        return;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        {
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            for &h in held.iter() {
+                // Same-name nesting is two instances of one role; a
+                // role-level self-edge would be a guaranteed false
+                // cycle, so it is skipped.
+                if h != name {
+                    *reg.edges
+                        .entry((h.to_string(), name.to_string()))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        held.push(name);
+    });
+}
+
+pub(crate) fn on_release(name: &'static str, held_since: Option<Instant>) {
+    if !is_enabled() {
+        HELD.with(|held| {
+            // Keep the stack consistent even across enable/disable
+            // boundaries.
+            remove_last(&mut held.borrow_mut(), name);
+        });
+        return;
+    }
+    HELD.with(|held| remove_last(&mut held.borrow_mut(), name));
+    if let Some(since) = held_since {
+        let micros = u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = reg.max_hold_micros.entry(name.to_string()).or_insert(0);
+        *entry = (*entry).max(micros);
+    }
+}
+
+pub(crate) fn on_condvar_wait(lock_name: &'static str, cv_name: Option<&'static str>) {
+    if is_enabled() {
+        HELD.with(|held| {
+            let held = held.borrow();
+            let others: Vec<String> = held
+                .iter()
+                .filter(|&&h| h != lock_name)
+                .map(|h| (*h).to_string())
+                .collect();
+            if !others.is_empty() {
+                let cv = cv_name.unwrap_or("<anonymous condvar>").to_string();
+                let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+                reg.waits_while_holding
+                    .entry((cv, lock_name.to_string()))
+                    .or_insert_with(|| others.clone());
+            }
+        });
+    }
+    // The wait releases the lock; it leaves the held set either way.
+    HELD.with(|held| remove_last(&mut held.borrow_mut(), lock_name));
+}
+
+pub(crate) fn on_reacquire_after_wait(lock_name: &'static str) {
+    HELD.with(|held| held.borrow_mut().push(lock_name));
+}
+
+fn remove_last(held: &mut Vec<&'static str>, name: &str) {
+    if let Some(pos) = held.iter().rposition(|&h| h == name) {
+        held.remove(pos);
+    }
+}
+
+/// One recorded condvar-wait-while-holding event.
+#[derive(Clone, Debug)]
+pub struct WaitWhileHolding {
+    /// The condvar waited on.
+    pub condvar: String,
+    /// The lock the wait released.
+    pub waiting_lock: String,
+    /// Named locks still held across the wait.
+    pub held: Vec<String>,
+}
+
+/// A point-in-time view of the registry.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrderReport {
+    /// Observed `held → acquired` edges with occurrence counts.
+    pub edges: Vec<(String, String, u64)>,
+    /// Cycles in the order graph (each a potential deadlock). The chain
+    /// lists the lock names in order; the last implicitly precedes the
+    /// first.
+    pub cycles: Vec<Vec<String>>,
+    /// Condvar waits entered while other named locks were held.
+    pub waits_while_holding: Vec<WaitWhileHolding>,
+    /// Longest observed hold per lock, in microseconds.
+    pub max_hold_micros: Vec<(String, u64)>,
+}
+
+/// Snapshot the registry and analyze the graph.
+pub fn snapshot() -> LockOrderReport {
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let edges: Vec<(String, String, u64)> = reg
+        .edges
+        .iter()
+        .map(|((a, b), n)| (a.clone(), b.clone(), *n))
+        .collect();
+    let cycles = find_cycles(&reg.edges);
+    let waits_while_holding = reg
+        .waits_while_holding
+        .iter()
+        .map(|((cv, lock), held)| WaitWhileHolding {
+            condvar: cv.clone(),
+            waiting_lock: lock.clone(),
+            held: held.clone(),
+        })
+        .collect();
+    let max_hold_micros = reg
+        .max_hold_micros
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    LockOrderReport {
+        edges,
+        cycles,
+        waits_while_holding,
+        max_hold_micros,
+    }
+}
+
+/// Find elementary cycles in the name graph by rooted DFS: for each
+/// node, search for a path back to it and report the first found. Good
+/// enough for lock graphs (a handful of roles); deduplicated by cycle
+/// rotation.
+fn find_cycles(edges: &BTreeMap<(String, String), u64>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_keys: Vec<Vec<String>> = Vec::new();
+    let roots: Vec<&str> = adj.keys().copied().collect();
+    for root in roots {
+        let mut path: Vec<&str> = vec![root];
+        if let Some(cycle) = dfs_back_to_root(root, root, &adj, &mut path) {
+            let key = canonical_rotation(&cycle);
+            if !seen_keys.contains(&key) {
+                seen_keys.push(key);
+                cycles.push(cycle);
+            }
+        }
+    }
+    cycles
+}
+
+fn dfs_back_to_root<'a>(
+    root: &'a str,
+    at: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+) -> Option<Vec<String>> {
+    for &next in adj.get(at).map_or(&[][..], Vec::as_slice) {
+        if next == root {
+            return Some(path.iter().map(|s| (*s).to_string()).collect());
+        }
+        if path.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        if let Some(c) = dfs_back_to_root(root, next, adj, path) {
+            return Some(c);
+        }
+        path.pop();
+    }
+    None
+}
+
+/// Rotate a cycle so its lexicographically smallest element leads —
+/// rotation-invariant identity for dedup.
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let min_idx = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map_or(0, |(i, _)| i);
+    cycle[min_idx..]
+        .iter()
+        .chain(cycle[..min_idx].iter())
+        .cloned()
+        .collect()
+}

@@ -1,0 +1,355 @@
+//! Dual-mode `std::sync` facade: [`Mutex`] and [`Condvar`] route through
+//! the deterministic scheduler when the calling thread is managed by
+//! [`crate::check`], and straight through `std::sync` otherwise. The
+//! std-path additionally feeds the [`crate::lockorder`] registry when it
+//! is enabled, so ordinary test runs double as lock-discipline evidence.
+//!
+//! Poisoning semantics are inherited from the underlying `std`
+//! primitives in both modes: a facade `lock()` returns the same
+//! `LockResult` shape as `std::sync::Mutex::lock`.
+
+use crate::exec::{Execution, Tid};
+use crate::{ctx, lockorder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LockResult, PoisonError};
+use std::time::Instant;
+
+pub mod mpsc;
+
+pub use std::sync::Arc;
+
+/// Process-wide id source for facade mutexes and condvars.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Dual-mode replacement for `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    /// Stable name for traces and the lock-order registry. Unnamed
+    /// mutexes stay out of the registry (their order is per-instance,
+    /// not a discipline).
+    name: Option<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// An anonymous mutex (absent from the lock-order registry).
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: fresh_id(),
+            name: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// A named mutex: the name keys the lock-order registry and appears
+    /// in model-checker traces. Use one name per lock *role* (e.g.
+    /// `"pool.queue"`), shared by all instances of that role.
+    pub fn named(name: &'static str, value: T) -> Mutex<T> {
+        Mutex {
+            id: fresh_id(),
+            name: Some(name),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    ///
+    /// # Errors
+    /// Returns a `PoisonError` carrying the value if the mutex was
+    /// poisoned, like `std::sync::Mutex::into_inner`.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn label(&self) -> String {
+        self.name
+            .map_or_else(|| format!("lock#{}", self.id), str::to_string)
+    }
+
+    /// Acquire the mutex, blocking the calling thread (or, in a managed
+    /// execution, yielding a scheduling decision).
+    ///
+    /// # Errors
+    /// Returns a `PoisonError` wrapping the guard if another thread
+    /// panicked while holding the lock, like `std::sync::Mutex::lock`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((exec, me)) = ctx::current() {
+            exec.lock_acquire(me, self.id, &self.label());
+            // Simulation-level ownership is exclusive, so the std lock
+            // is uncontended here (it only blocks briefly during abort
+            // teardown while another thread unwinds its guard away).
+            let (std_guard, poisoned) = match self.inner.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            let guard = MutexGuard {
+                lock: self,
+                std: Some(std_guard),
+                sim: Some((exec, me)),
+                held_since: None,
+                suppress: false,
+            };
+            if poisoned {
+                Err(PoisonError::new(guard))
+            } else {
+                Ok(guard)
+            }
+        } else {
+            let (std_guard, poisoned) = match self.inner.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            if let Some(name) = self.name {
+                lockorder::on_acquire(name);
+            }
+            let guard = MutexGuard {
+                lock: self,
+                std: Some(std_guard),
+                sim: None,
+                held_since: self.name.map(|_| Instant::now()),
+                suppress: false,
+            };
+            if poisoned {
+                Err(PoisonError::new(guard))
+            } else {
+                Ok(guard)
+            }
+        }
+    }
+
+    /// Mutable access without locking (the exclusive borrow proves no
+    /// other thread holds the mutex).
+    ///
+    /// # Errors
+    /// Returns a `PoisonError` if the mutex was poisoned, like
+    /// `std::sync::Mutex::get_mut`.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("name", &self.label())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. Releases the lock (and performs
+/// the simulation-level handoff / registry bookkeeping) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    sim: Option<(Arc<Execution>, Tid)>,
+    held_since: Option<Instant>,
+    /// Set by [`Condvar::wait`], which takes over the release itself.
+    suppress: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std
+            .as_ref()
+            .expect("guard accessed after wait handoff")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std
+            .as_mut()
+            .expect("guard accessed after wait handoff")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.suppress {
+            return;
+        }
+        // Release the std lock before the simulation handoff so the next
+        // sim owner finds it free.
+        self.std = None;
+        if let Some((exec, me)) = self.sim.take() {
+            exec.lock_release(me, self.lock.id, &self.lock.label());
+        } else if let Some(name) = self.lock.name {
+            lockorder::on_release(name, self.held_since);
+        }
+    }
+}
+
+/// Dual-mode replacement for `std::sync::Condvar`.
+pub struct Condvar {
+    id: u64,
+    name: Option<&'static str>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// An anonymous condvar.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: fresh_id(),
+            name: None,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// A named condvar (the name appears in model-checker traces and
+    /// lock-order diagnostics).
+    pub fn named(name: &'static str) -> Condvar {
+        Condvar {
+            id: fresh_id(),
+            name: Some(name),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn label(&self) -> String {
+        self.name
+            .map_or_else(|| format!("condvar#{}", self.id), str::to_string)
+    }
+
+    /// Release the guard's mutex and wait for a notification (or a
+    /// spurious wakeup — the scheduler injects budgeted ones in managed
+    /// executions precisely to flush out unlooped waits).
+    ///
+    /// # Errors
+    /// Returns a `PoisonError` wrapping the reacquired guard if the
+    /// mutex was poisoned, like `std::sync::Condvar::wait`.
+    ///
+    /// # Panics
+    /// Panics if the guard has already been handed off to another wait
+    /// (impossible through the public API).
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        if let Some((exec, me)) = guard.sim.clone() {
+            // Drop the std guard, neuter the facade guard, and let the
+            // scheduler perform release + block + re-grant atomically.
+            guard.std = None;
+            guard.suppress = true;
+            drop(guard);
+            exec.cond_wait(me, self.id, &self.label(), lock.id);
+            let (std_guard, poisoned) = match lock.inner.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            let guard = MutexGuard {
+                lock,
+                std: Some(std_guard),
+                sim: Some((exec, me)),
+                held_since: None,
+                suppress: false,
+            };
+            if poisoned {
+                Err(PoisonError::new(guard))
+            } else {
+                Ok(guard)
+            }
+        } else {
+            if let Some(name) = lock.name {
+                lockorder::on_condvar_wait(name, self.name);
+            }
+            let std_guard = guard.std.take().expect("guard accessed after wait handoff");
+            guard.suppress = true;
+            drop(guard);
+            let (std_guard, poisoned) = match self.inner.wait(std_guard) {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            };
+            if let Some(name) = lock.name {
+                lockorder::on_reacquire_after_wait(name);
+            }
+            let guard = MutexGuard {
+                lock,
+                std: Some(std_guard),
+                sim: None,
+                held_since: lock.name.map(|_| Instant::now()),
+                suppress: false,
+            };
+            if poisoned {
+                Err(PoisonError::new(guard))
+            } else {
+                Ok(guard)
+            }
+        }
+    }
+
+    /// Wait until `condition` holds, re-checking it around every wakeup
+    /// (the loop `std` documents as mandatory).
+    ///
+    /// # Errors
+    /// Returns a `PoisonError` wrapping the guard if the mutex was
+    /// poisoned.
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let mut poisoned = false;
+        while condition(&mut guard) {
+            guard = match self.wait(guard) {
+                Ok(g) => g,
+                Err(p) => {
+                    poisoned = true;
+                    p.into_inner()
+                }
+            };
+        }
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Wake one waiter (in a managed execution, *which* one is a
+    /// scheduling decision).
+    pub fn notify_one(&self) {
+        if let Some((exec, me)) = ctx::current() {
+            exec.cond_notify_one(me, self.id, &self.label());
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        if let Some((exec, me)) = ctx::current() {
+            exec.cond_notify_all(me, self.id, &self.label());
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar")
+            .field("name", &self.label())
+            .finish()
+    }
+}

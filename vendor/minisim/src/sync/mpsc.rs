@@ -1,0 +1,165 @@
+//! Dual-mode `std::sync::mpsc` replacement, built on the facade
+//! [`Mutex`](super::Mutex) and [`Condvar`](super::Condvar) so channel
+//! operations are visible to the model checker. Error types are reused
+//! from `std::sync::mpsc`, so call sites match on the familiar names.
+
+use super::{Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> super::MutexGuard<'_, ChanState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// An unbounded channel, like `std::sync::mpsc::channel`.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// The sending half; clonable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Queue a value for the receiver.
+    ///
+    /// # Errors
+    /// Returns the value back if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.lock();
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.chan.lock().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake the receiver so a blocked recv observes disconnection.
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives or every sender is gone.
+    ///
+    /// # Errors
+    /// Returns `RecvError` when the channel is empty and all senders
+    /// have been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    /// `Empty` when no value is queued, `Disconnected` when additionally
+    /// every sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.lock();
+        if let Some(v) = st.queue.pop_front() {
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Blocking iterator over received values, ending at disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.lock().receiver_alive = false;
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}

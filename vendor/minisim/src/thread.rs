@@ -1,0 +1,147 @@
+//! Dual-mode `std::thread` facade. Outside [`crate::check`] this is a
+//! thin veneer over `std::thread`. Inside a check, spawned threads are
+//! registered with the execution, parked until first scheduled, and
+//! their panics are routed into the checker's violation machinery
+//! instead of tearing down the test harness.
+
+use crate::exec::{Execution, SimAbort, Tid};
+use crate::{ctx, payload_message};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Dual-mode replacement for `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<T>,
+    sim: Option<(Arc<Execution>, Tid)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result (or the
+    /// panic payload it died with). In a managed execution the blocking
+    /// itself is a visible scheduling operation.
+    ///
+    /// # Errors
+    /// Returns the thread's panic payload if it panicked, like
+    /// `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = self.sim {
+            if let Some((_, me)) = ctx::current() {
+                exec.join_begin(me, target);
+            }
+            // The target has finished at the simulation level (or the
+            // execution aborted); the real join returns promptly.
+            self.real.join()
+        } else {
+            self.real.join()
+        }
+    }
+
+    /// Whether the thread has finished (delegates to std; in a managed
+    /// execution prefer `join`).
+    pub fn is_finished(&self) -> bool {
+        self.real.is_finished()
+    }
+}
+
+/// Dual-mode replacement for `std::thread::Builder`.
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A builder with no name set.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Name the thread (visible in sim traces and OS thread names).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the thread.
+    ///
+    /// # Errors
+    /// Propagates `std::thread::Builder::spawn` errors (OS resource
+    /// exhaustion).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let name = self.name.unwrap_or_else(|| "unnamed".to_string());
+        if let Some((exec, me)) = ctx::current() {
+            let tid = exec.register_child(me, &name);
+            let exec_child = Arc::clone(&exec);
+            let real = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || run_managed_value(&exec_child, tid, f))?;
+            // Offer a switch point: the scheduler may run the child
+            // before the parent's next visible op.
+            exec.after_spawn(me);
+            Ok(JoinHandle {
+                real,
+                sim: Some((exec, tid)),
+            })
+        } else {
+            let real = std::thread::Builder::new().name(name).spawn(f)?;
+            Ok(JoinHandle { real, sim: None })
+        }
+    }
+}
+
+/// Dual-mode replacement for `std::thread::spawn`.
+///
+/// # Panics
+/// Panics if the OS refuses to spawn a thread, like `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Body of a managed child thread: bind the context, park until first
+/// scheduled, run the user closure, and report the outcome to the
+/// execution. Used by the driver for the root thread too.
+pub(crate) fn run_managed<F>(exec: &Arc<Execution>, tid: Tid, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    run_managed_value(exec, tid, f);
+}
+
+fn run_managed_value<F, T>(exec: &Arc<Execution>, tid: Tid, f: F) -> T
+where
+    F: FnOnce() -> T,
+{
+    ctx::set(Arc::clone(exec), tid);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec.first_grant(tid);
+        f()
+    }));
+    let panicked = match &result {
+        Ok(_) => None,
+        Err(payload) => {
+            if payload.is::<SimAbort>() {
+                // Abort-protocol teardown, not a model failure.
+                None
+            } else {
+                Some(payload_message(payload.as_ref()))
+            }
+        }
+    };
+    exec.finish(tid, panicked);
+    ctx::clear();
+    match result {
+        Ok(v) => v,
+        // Re-raise so the payload reaches a facade `join` (the quiet
+        // panic hook keeps this silent, and resume_unwind skips hooks
+        // anyway).
+        Err(payload) => resume_unwind(payload),
+    }
+}

@@ -1,0 +1,155 @@
+//! Lock-order registry tests. The registry is process-global, so every
+//! test in this binary funnels through one serializing mutex and resets
+//! the registry before use.
+
+use minisim::lockorder;
+use minisim::sync::{Arc, Condvar, Mutex};
+use minisim::thread;
+use std::sync::Mutex as StdMutex;
+
+fn serialized<R>(f: impl FnOnce() -> R) -> R {
+    static GATE: StdMutex<()> = StdMutex::new(());
+    let _g = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    lockorder::reset();
+    lockorder::enable();
+    let out = f();
+    lockorder::disable();
+    lockorder::reset();
+    out
+}
+
+#[test]
+fn consistent_order_yields_edges_and_no_cycles() {
+    let report = serialized(|| {
+        let a = Mutex::named("lo.alpha", ());
+        let b = Mutex::named("lo.beta", ());
+        for _ in 0..3 {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        lockorder::snapshot()
+    });
+    assert!(report.cycles.is_empty(), "cycles: {:?}", report.cycles);
+    let edge = report
+        .edges
+        .iter()
+        .find(|(h, a, _)| h == "lo.alpha" && a == "lo.beta")
+        .expect("alpha→beta edge recorded");
+    assert_eq!(edge.2, 3, "three acquisitions observed");
+}
+
+#[test]
+fn opposite_orders_form_a_cycle() {
+    let report = serialized(|| {
+        let a = Mutex::named("lo.first", ());
+        let b = Mutex::named("lo.second", ());
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        }
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        lockorder::snapshot()
+    });
+    assert_eq!(report.cycles.len(), 1, "cycles: {:?}", report.cycles);
+    let cycle = &report.cycles[0];
+    assert!(cycle.contains(&"lo.first".to_string()) && cycle.contains(&"lo.second".to_string()));
+}
+
+#[test]
+fn same_name_nesting_is_not_a_self_cycle() {
+    let report = serialized(|| {
+        // Two instances of one role (e.g. two shards' snapshots): a
+        // role-level self-edge would be a guaranteed false positive.
+        let a = Mutex::named("lo.role", ());
+        let b = Mutex::named("lo.role", ());
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        lockorder::snapshot()
+    });
+    assert!(report.cycles.is_empty(), "cycles: {:?}", report.cycles);
+    assert!(report.edges.is_empty(), "edges: {:?}", report.edges);
+}
+
+#[test]
+fn condvar_wait_while_holding_other_lock_is_recorded() {
+    let report = serialized(|| {
+        let outer = Arc::new(Mutex::named("lo.outer", ()));
+        let inner = Arc::new(Mutex::named("lo.inner", false));
+        let cv = Arc::new(Condvar::named("lo.cv"));
+        let (inner2, cv2) = (Arc::clone(&inner), Arc::clone(&cv));
+        let t;
+        {
+            let _go = outer.lock().unwrap();
+            let mut g = inner.lock().unwrap();
+            // Spawn the notifier only now, while `inner` is held: it
+            // cannot set the flag until the wait below releases the
+            // lock, so the wait deterministically happens.
+            t = thread::spawn(move || {
+                *inner2.lock().unwrap() = true;
+                cv2.notify_all();
+            });
+            while !*g {
+                // Waiting on lo.cv while still holding lo.outer — the
+                // registry must flag this shape.
+                g = cv.wait(g).unwrap();
+            }
+        }
+        t.join().unwrap();
+        lockorder::snapshot()
+    });
+    let w = report
+        .waits_while_holding
+        .iter()
+        .find(|w| w.condvar == "lo.cv")
+        .expect("wait-while-holding recorded");
+    assert_eq!(w.waiting_lock, "lo.inner");
+    assert_eq!(w.held, vec!["lo.outer".to_string()]);
+}
+
+#[test]
+fn hold_times_are_tracked_per_named_lock() {
+    let report = serialized(|| {
+        let a = Mutex::named("lo.timed", ());
+        {
+            let _g = a.lock().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        lockorder::snapshot()
+    });
+    let (_, micros) = report
+        .max_hold_micros
+        .iter()
+        .find(|(n, _)| n == "lo.timed")
+        .expect("hold time recorded");
+    assert!(*micros >= 1_000, "held ≥1ms, recorded {micros}µs");
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let report = serialized(|| {
+        lockorder::disable();
+        let a = Mutex::named("lo.quiet-a", ());
+        let b = Mutex::named("lo.quiet-b", ());
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        lockorder::snapshot()
+    });
+    assert!(report.edges.is_empty());
+}
+
+#[test]
+fn anonymous_mutexes_stay_out_of_the_registry() {
+    let report = serialized(|| {
+        let a = Mutex::new(());
+        let b = Mutex::named("lo.named-only", ());
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        lockorder::snapshot()
+    });
+    assert!(report.edges.is_empty(), "edges: {:?}", report.edges);
+}
