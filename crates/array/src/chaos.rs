@@ -4,20 +4,29 @@
 //!
 //! The soak is fully deterministic for a given seed: the fault injector
 //! and the op-mix generator are both seeded, and the headline events —
-//! silent corruption, a bad-sector shower that crosses the auto-fail
-//! threshold, a whole-disk kill — are *placed* at fixed fractions of the
-//! schedule rather than rolled, so every run exercises checksum catches,
-//! degraded reads, auto-failure, hot-spare attach, and rebuild
-//! completion. The probabilistic fault knobs (transient errors, torn
-//! writes, latency spikes) stay on throughout to keep the retry and
-//! backoff paths honest.
+//! a mid-write power cut with remount, silent corruption, a bad-sector
+//! shower that crosses the auto-fail threshold, a whole-disk kill — are
+//! *placed* at fixed fractions of the schedule rather than rolled, so
+//! every run exercises journal replay, checksum catches, degraded reads,
+//! auto-failure, hot-spare attach, and rebuild completion. The
+//! probabilistic fault knobs (transient errors, torn writes, latency
+//! spikes) stay on throughout to keep the retry and backoff paths
+//! honest, and the whole run models a volatile write-back cache — an
+//! acknowledged write that was never flushed is *lost* at the power cut.
+//!
+//! The crash event is placed *before* the at-rest corruption event on
+//! purpose: a journaled remount re-seeds the expected CRCs from the
+//! medium, so an unread corruption sitting on disk across a remount
+//! would be ratified as expected content and read back as "clean"
+//! garbage — the harness would misattribute it as data loss.
 
 use crate::array::ArrayError;
+use crate::journal::journal_blocks_per_disk;
 use crate::resilient::{ResilientArray, ResilientStats, RetryPolicy, SlotState};
 use crate::rotation::RotationScheme;
 use dcode_core::grid::Cell;
 use dcode_core::layout::CodeLayout;
-use dcode_faults::{FaultInjector, FaultPlan, FaultStats, MemBackend};
+use dcode_faults::{catch_crash, FaultInjector, FaultPlan, FaultStats, MemBackend};
 use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
 
 /// Knobs for one soak run.
@@ -74,11 +83,15 @@ pub struct ChaosReport {
     pub faults: FaultStats,
     /// Whether every started rebuild ran to completion by the end.
     pub rebuild_done: bool,
+    /// Power-cut-and-remount events executed (journal replay exercised).
+    pub crash_remounts: u64,
 }
 
 impl ChaosReport {
     /// A soak passes when nothing was lost, no op failed, and the run
-    /// exercised every headline event at least once.
+    /// exercised every headline event at least once — including at least
+    /// one mid-write power cut that fired and was remounted through the
+    /// journal.
     pub fn passed(&self) -> bool {
         self.data_loss == 0
             && self.op_errors == 0
@@ -88,6 +101,8 @@ impl ChaosReport {
             && self.arr.rebuilds_completed >= 1
             && self.arr.checksum_catches >= 1
             && self.arr.degraded_reads >= 1
+            && self.crash_remounts >= 1
+            && self.faults.crashes >= 1
     }
 }
 
@@ -115,6 +130,11 @@ impl std::fmt::Display for ChaosReport {
             f,
             "  rebuilds completed   {} ({} blocks)",
             self.arr.rebuilds_completed, self.arr.rebuilt_blocks
+        )?;
+        writeln!(
+            f,
+            "  crash remounts       {} ({} crashes fired, {} cached writes lost)",
+            self.crash_remounts, self.faults.crashes, self.faults.writes_dropped
         )?;
         writeln!(
             f,
@@ -150,11 +170,14 @@ pub fn soak(layout: CodeLayout, cfg: &ChaosConfig) -> ChaosReport {
     plan.p_transient_write = 0.01;
     plan.p_torn_write = 0.004;
     plan.p_latency_spike = 0.01;
+    plan.volatile_cache = true;
+    let per_disk = cfg.stripes * rows + journal_blocks_per_disk(&layout, cfg.block_size);
     let backend = FaultInjector::new(
-        MemBackend::new(disks + cfg.spares, cfg.stripes * rows, cfg.block_size),
+        MemBackend::new(disks + cfg.spares, per_disk, cfg.block_size),
         plan,
     );
-    let mut arr = Dut::format(
+    let remount_layout = layout.clone();
+    let mut arr = Dut::format_journaled(
         layout,
         cfg.block_size,
         cfg.stripes,
@@ -173,10 +196,14 @@ pub fn soak(layout: CodeLayout, cfg: &ChaosConfig) -> ChaosReport {
     let mut writes = 0u64;
     let mut data_loss = 0u64;
     let mut op_errors = 0u64;
+    let mut crash_remounts = 0u64;
 
-    // Placed events: corruption early, the sector shower at a third, an
-    // optional whole-disk kill at two thirds (leaving time to rebuild).
+    // Placed events: the power cut first (see the module doc for why it
+    // must precede the corruption), corruption early, the sector shower
+    // at a third, an optional whole-disk kill at two thirds (leaving
+    // time to rebuild).
     let corrupt_at = (cfg.ops / 8).max(1);
+    let crash_at = (cfg.ops / 12).min(corrupt_at.saturating_sub(1));
     let shower_at = (cfg.ops / 3).max(2);
     let kill_at = (2 * cfg.ops / 3).max(3);
 
@@ -215,6 +242,71 @@ pub fn soak(layout: CodeLayout, cfg: &ChaosConfig) -> ChaosReport {
     };
 
     for op in 0..cfg.ops {
+        if op == crash_at && arr.failed_slots().is_empty() && arr.rebuild_progress().is_none() {
+            // The power goes out mid-write: arm a crash a few backend
+            // writes into a random logical write, let it unwind, drop
+            // whatever the volatile cache still held, and remount the
+            // medium through the journaled attach. The crashed write was
+            // never acknowledged, so the oracle accepts old *or* new
+            // content for each element it touched — anything else is
+            // loss.
+            let start = rng.gen_range(0..capacity);
+            let count = rng.gen_range(1..=(capacity - start).min(2 * data_len));
+            let mut bytes = vec![0u8; count * bs];
+            rng.fill_bytes(&mut bytes);
+            let crash_in = rng.gen_range(0..12u64);
+            arr.backend_mut().arm_crash(crash_in);
+            writes += 1;
+            let outcome = {
+                let a = &mut arr;
+                let b = &bytes;
+                catch_crash(move || a.write(start, b))
+            };
+            match &outcome {
+                Some(Ok(())) => {
+                    // The op finished before the armed index: an acked
+                    // write, so the oracle takes it — it must survive.
+                    arr.backend_mut().disarm_crash();
+                    oracle[start * bs..(start + count) * bs].copy_from_slice(&bytes);
+                }
+                Some(Err(_)) => {
+                    arr.backend_mut().disarm_crash();
+                    op_errors += 1;
+                }
+                None => {} // crashed mid-write, as intended
+            }
+            let mut medium = arr.into_backend();
+            medium.power_cycle();
+            arr = Dut::attach_journaled(
+                remount_layout.clone(),
+                cfg.block_size,
+                cfg.stripes,
+                rotation,
+                medium,
+                RetryPolicy::default(),
+                cfg.fail_threshold,
+            )
+            .expect("chaos remount after power cut");
+            crash_remounts += 1;
+            if outcome.is_none() {
+                // Resolve the suspect elements against the remounted
+                // array: ratify whichever of old/new actually landed.
+                for e in start..start + count {
+                    reads += 1;
+                    match arr.read(e, 1) {
+                        Ok(got) => {
+                            let new = &bytes[(e - start) * bs..(e - start + 1) * bs];
+                            if got == new {
+                                oracle[e * bs..(e + 1) * bs].copy_from_slice(new);
+                            } else if got != oracle[e * bs..(e + 1) * bs] {
+                                data_loss += 1;
+                            }
+                        }
+                        Err(_) => op_errors += 1,
+                    }
+                }
+            }
+        }
         if op == corrupt_at {
             // Silent at-rest corruption on two healthy slots, immediately
             // read back so the checksum layer must catch both.
@@ -346,6 +438,7 @@ pub fn soak(layout: CodeLayout, cfg: &ChaosConfig) -> ChaosReport {
         arr: arr.stats().clone(),
         faults: arr.backend_mut().stats().clone(),
         rebuild_done,
+        crash_remounts,
     }
 }
 

@@ -11,8 +11,16 @@
 //!   accounting, per-block CRC32 catching silent corruption, sector-level
 //!   degraded reads, error-threshold auto-fail, hot-spare rebuild with a
 //!   mid-rebuild-correct watermark;
+//! * [`journal`] — the write-ahead parity intent journal closing the
+//!   RAID-6 write hole: checksummed intent records, commit/retire
+//!   lifecycle, and mount-time replay;
+//! * [`crashsim`] — the exhaustive crash-point harness: every write-path
+//!   operation crashed at every backend-write index, remounted, and
+//!   verified for zero acknowledged-write loss and zero
+//!   parity-inconsistent stripes;
 //! * [`chaos`] — a seeded chaos soak harness replaying randomized
-//!   op/fault schedules against an in-memory oracle;
+//!   op/fault schedules (including crash-and-remount events) against an
+//!   in-memory oracle;
 //! * [`device`] — the [`ElementIo`] trait both arrays implement;
 //! * [`rotation`] — stripe-by-stripe logical→physical column rotation
 //!   (the RAID-5-style global balancing the paper's Section II discusses);
@@ -39,7 +47,9 @@
 
 pub mod array;
 pub mod chaos;
+pub mod crashsim;
 pub mod device;
+pub mod journal;
 pub mod loadstudy;
 pub mod objstore;
 pub mod resilient;
@@ -48,9 +58,16 @@ pub mod scrub;
 
 pub use array::{Array, ArrayError};
 pub use chaos::{soak, ChaosConfig, ChaosReport};
+pub use crashsim::{sweep, CrashOp, CrashSimConfig, CrashSweepReport};
 pub use device::ElementIo;
+pub use journal::{
+    journal_blocks_per_disk, scan_journal, JournalScan, JournalSpec, JournalState, ReplayOutcome,
+    ReplaySummary,
+};
 pub use loadstudy::{lf, physical_loads, StripeSkew};
 pub use objstore::{ObjectStore, StoreError};
-pub use resilient::{ResilientArray, ResilientStats, RetryPolicy, ScrubSummary, SlotState};
+pub use resilient::{
+    JournalMutation, ResilientArray, ResilientStats, RetryPolicy, ScrubSummary, SlotState,
+};
 pub use rotation::RotationScheme;
 pub use scrub::{failing_equations, scrub_stripe, scrub_stripe_dry, ScrubReport};

@@ -2,13 +2,18 @@
 //! testable. Each takes the array directory and returns a human-readable
 //! summary on success.
 
-use crate::diskio::{disk_path, layout_of, probe_disks, read_disks, write_disks, write_one_disk};
+use crate::diskio::{
+    disk_blocks, disk_path, layout_of, probe_disks, read_disks, write_disks, write_one_disk,
+};
 use crate::meta::ArrayMeta;
 use dcode_array::chaos::{soak, ChaosConfig};
+use dcode_array::crashsim::{sweep, CrashSimConfig};
 use dcode_array::scrub::{scrub_stripe, scrub_stripe_dry, ScrubReport};
+use dcode_array::{journal_blocks_per_disk, scan_journal, JournalMutation, JournalSpec};
 use dcode_baselines::registry::CodeId;
 use dcode_codec::{apply_plan, encode_payload, verify_parities, Stripe};
 use dcode_core::decoder::plan_column_recovery;
+use dcode_core::layout::CodeLayout;
 use std::fmt;
 use std::path::Path;
 
@@ -99,6 +104,14 @@ pub fn store(
         block,
         stripes: stripes_needed,
         payload_len: payload.len(),
+        // Reserve a journal region so the array's geometry matches the
+        // journaled mount path; blocks below the record-header minimum
+        // get none. The region starts zeroed (all slots empty).
+        journal: if block >= 32 {
+            journal_blocks_per_disk(&layout, block)
+        } else {
+            0
+        },
     };
     // One cached compile + the persistent pool for the whole batch, instead
     // of a schedule compile (or even a cache lookup) per stripe.
@@ -223,12 +236,71 @@ pub fn status(dir: &Path) -> Result<String, CliError> {
     for (d, probe) in probes.iter().enumerate() {
         out.push_str(&format!("  disk {d}: {probe}\n"));
     }
+    out.push_str(&journal_status(dir, &meta, &layout, &dead));
     let cache = dcode_codec::schedule_stats();
     out.push_str(&format!(
         "schedule cache: {} hit(s) / {} miss(es) (this process)\n",
         cache.hits, cache.misses
     ));
     Ok(out)
+}
+
+/// The parity-intent-journal lines of `status`: region geometry, a live
+/// scan of the record slots, and the persisted mount state (mount count,
+/// last replay outcome). Read-only — the scan never modifies the medium.
+fn journal_status(dir: &Path, meta: &ArrayMeta, layout: &CodeLayout, dead: &[usize]) -> String {
+    if meta.journal == 0 {
+        return "journal: none (array predates journaling or block too small)\n".into();
+    }
+    let region_bytes = meta.journal * meta.block;
+    let mut out = format!(
+        "journal: {} block(s)/disk ({} bytes/disk, {} bytes total)\n",
+        meta.journal,
+        region_bytes,
+        region_bytes * layout.disks()
+    );
+    if !dead.is_empty() {
+        out.push_str("  not scanned: dead disks present (rebuild first)\n");
+        return out;
+    }
+    let spec = JournalSpec::for_geometry(layout, meta.block, meta.stripes);
+    let mut backend = match dcode_faults::FileBackend::open(
+        dir,
+        layout.disks(),
+        disk_blocks(meta, layout),
+        meta.block,
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            out.push_str(&format!("  not scanned: {e}\n"));
+            return out;
+        }
+    };
+    let scan = scan_journal(&mut backend, &spec);
+    out.push_str(&format!(
+        "  records: {} live, {} retired, {} torn, {} empty slot(s)\n",
+        scan.live.len(),
+        scan.tombstones,
+        scan.torn,
+        scan.empty
+    ));
+    for &(disk, seq, stripe) in &scan.live {
+        out.push_str(&format!(
+            "    LIVE record seq {seq} on disk {disk} (stripe {stripe}) — will replay on attach\n"
+        ));
+    }
+    match scan.state {
+        Some(state) => out.push_str(&format!(
+            "  mounts: {}, last replay: {} ({} scanned, {} replayed, {} discarded)\n",
+            state.mounts,
+            state.last.outcome.name(),
+            state.last.scanned,
+            state.last.replayed,
+            state.last.discarded
+        )),
+        None => out.push_str("  mounts: never mounted through the journaled path\n"),
+    }
+    out
 }
 
 /// `kill`: make a disk fail by deleting its file.
@@ -548,6 +620,95 @@ pub fn chaos(seed: u64, ops: usize, target: Option<(CodeId, usize)>) -> Result<S
     Ok(out)
 }
 
+/// Codes the `crash-sim` sweep covers under `--all`: the paper's code and
+/// the two classic horizontal baselines, each at both sweep primes.
+const CRASH_SIM_CODES: [CodeId; 3] = [CodeId::DCode, CodeId::Rdp, CodeId::EvenOdd];
+
+/// Primes the `--all` crash sweep runs each code at.
+const CRASH_SIM_PRIMES: [usize; 2] = [5, 7];
+
+/// `crash-sim`: the exhaustive write-hole crash sweep. Every write-path
+/// operation is crashed at every backend-write index, power-cycled
+/// (dropping un-flushed volatile-cache writes), remounted through the
+/// journaled attach, and verified: no acknowledged write lost, no
+/// parity-inconsistent stripe. Any failure is replayable from
+/// `(op, crash index, seed)` and exits 3. `--all` sweeps the registry
+/// codes at p ∈ {5, 7}; `--mutate` plants a retire-before-parity ordering
+/// bug and *requires* the sweep to catch it (the harness's self-test);
+/// `--json` emits the CI artifact format (printed even on failure so a
+/// piped artifact survives the failing exit).
+pub fn crash_sim(seed: u64, all: bool, json: bool, mutate: bool) -> Result<String, CliError> {
+    let targets: Vec<(CodeId, usize)> = if all {
+        CRASH_SIM_CODES
+            .iter()
+            .flat_map(|&id| CRASH_SIM_PRIMES.iter().map(move |&p| (id, p)))
+            .collect()
+    } else {
+        vec![(CodeId::DCode, 5)]
+    };
+    let mut items = Vec::new();
+    let mut lines = String::new();
+    let mut failed = Vec::new();
+    for (id, p) in targets {
+        let layout = dcode_baselines::registry::build(id, p)
+            .map_err(|e| CliError::Usage(format!("cannot build {} at p={p}: {e}", id.name())))?;
+        let mut cfg = CrashSimConfig::new(layout, seed);
+        if mutate {
+            cfg.mutation = Some(JournalMutation::RetireBeforeParity);
+        }
+        let report = sweep(&cfg);
+        if !report.passed() {
+            failed.push(format!("{} p={p}", id.name()));
+        }
+        lines.push_str(&format!(
+            "{} p={p}: {} crash point(s), {} replay(s), {} failure(s) — {}\n",
+            id.name(),
+            report.crash_points,
+            report.replays,
+            report.failures.len(),
+            if report.passed() { "ok" } else { "FAILED" }
+        ));
+        for f in &report.failures {
+            lines.push_str(&format!(
+                "  {} crashed at write {} (seed {}): {}\n",
+                f.op, f.crash_at, f.seed, f.detail
+            ));
+        }
+        items.push(format!(
+            "{{\"code\":\"{}\",\"p\":{p},\"report\":{}}}",
+            id.name(),
+            report.to_json()
+        ));
+    }
+    let body = if json {
+        format!("[{}]", items.join(",\n "))
+    } else {
+        let verdict = if mutate {
+            "mutated sweep caught the planted write hole"
+        } else {
+            "crash sweep clean: every crash point remounts with zero acked-write \
+             loss and zero parity-inconsistent stripes"
+        };
+        format!("{lines}{verdict}")
+    };
+    if !failed.is_empty() {
+        if json {
+            println!("{body}");
+        }
+        return Err(CliError::State(format!(
+            "{}crash sweep FAILED for {}: {}",
+            if json {
+                String::new()
+            } else {
+                format!("{lines}\n")
+            },
+            failed.len(),
+            failed.join(", ")
+        )));
+    }
+    Ok(body)
+}
+
 /// Options for the `serve` command (bundled: the flag surface is wide).
 pub struct ServeOpts {
     /// Code each shard runs.
@@ -588,7 +749,16 @@ pub fn serve(dir: &Path, opts: &ServeOpts) -> Result<String, CliError> {
         ));
     }
     std::fs::create_dir_all(dir)?;
-    let blocks = opts.stripes * layout.rows();
+    let shard_cfg = ShardConfig {
+        layout,
+        block_size: opts.block,
+        stripes: opts.stripes,
+        queue_cap: opts.queue_cap,
+        ..ShardConfig::default()
+    };
+    // Data region plus the parity-intent journal tail each shard's
+    // journaled array expects.
+    let blocks = dcode_server::shard_blocks(&shard_cfg);
     let existing = (0..opts.shards)
         .filter(|i| {
             dir.join(format!("shard_{i}"))
@@ -607,14 +777,15 @@ pub fn serve(dir: &Path, opts: &ServeOpts) -> Result<String, CliError> {
             )))
         }
     };
+    let disks = shard_cfg.layout.disks();
     let mut backends: Vec<ShardBackend> = Vec::with_capacity(opts.shards);
     for i in 0..opts.shards {
         let shard_dir = dir.join(format!("shard_{i}"));
         std::fs::create_dir_all(&shard_dir)?;
         let backend = if fresh {
-            dcode_faults::FileBackend::create(&shard_dir, layout.disks(), blocks, opts.block)?
+            dcode_faults::FileBackend::create(&shard_dir, disks, blocks, opts.block)?
         } else {
-            dcode_faults::FileBackend::open(&shard_dir, layout.disks(), blocks, opts.block)?
+            dcode_faults::FileBackend::open(&shard_dir, disks, blocks, opts.block)?
         };
         backends.push(Box::new(backend));
     }
@@ -622,13 +793,7 @@ pub fn serve(dir: &Path, opts: &ServeOpts) -> Result<String, CliError> {
         port: opts.port,
         shards: opts.shards,
         max_conns: opts.conns,
-        shard: ShardConfig {
-            layout,
-            block_size: opts.block,
-            stripes: opts.stripes,
-            queue_cap: opts.queue_cap,
-            ..ShardConfig::default()
-        },
+        shard: shard_cfg,
     };
     let server = Server::start(&config, backends, fresh).map_err(CliError::State)?;
     println!(
@@ -794,7 +959,7 @@ mod tests {
             .map(|_| {
                 Box::new(dcode_faults::MemBackend::new(
                     config.shard.layout.disks(),
-                    config.shard.stripes * config.shard.layout.rows(),
+                    dcode_server::shard_blocks(&config.shard),
                     config.shard.block_size,
                 )) as ShardBackend
             })
@@ -1016,6 +1181,45 @@ mod tests {
         assert_eq!(CliError::State("s".into()).exit_code(), 3);
         assert_eq!(CliError::Ambiguous("a".into()).exit_code(), 4);
         assert_eq!(CliError::Corrupt("c".into()).exit_code(), 5);
+    }
+
+    #[test]
+    fn status_reports_journal_region_and_scan() {
+        let (root, input, _) = setup("journalstat");
+        let dir = root.join("array");
+        store(&input, &dir, CodeId::DCode, 5, 512).unwrap();
+        let out = status(&dir).unwrap();
+        assert!(
+            out.contains("journal:") && out.contains("block(s)/disk"),
+            "{out}"
+        );
+        assert!(out.contains("0 live"), "{out}");
+        assert!(out.contains("never mounted"), "{out}");
+        // With a dead disk the scan is skipped but the region is reported.
+        kill(&dir, 1).unwrap();
+        let out = status(&dir).unwrap();
+        assert!(out.contains("not scanned: dead disks"), "{out}");
+        // Rebuild restores the geometry, journal tail included.
+        rebuild(&dir).unwrap();
+        assert!(status(&dir).unwrap().contains("0 live"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_sim_default_sweep_is_clean() {
+        let out = crash_sim(1, false, false, false).unwrap();
+        assert!(out.contains("crash sweep clean"), "{out}");
+        assert!(out.contains("D-Code p=5"), "{out}");
+        let json = crash_sim(1, false, true, false).unwrap();
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"passed\":true"), "{json}");
+    }
+
+    #[test]
+    fn crash_sim_mutated_catches_the_planted_hole() {
+        let out = crash_sim(2, false, false, true).unwrap();
+        assert!(out.contains("caught the planted write hole"), "{out}");
+        assert!(out.contains("crashed at write"), "{out}");
     }
 
     #[test]

@@ -25,9 +25,14 @@ pub fn layout_of(meta: &ArrayMeta) -> CodeLayout {
     build(meta.code, meta.p).expect("metadata was validated at creation")
 }
 
-/// Expected byte length of each disk file.
+/// Blocks per disk file: the data region plus the journal tail.
+pub fn disk_blocks(meta: &ArrayMeta, layout: &CodeLayout) -> usize {
+    meta.stripes * layout.rows() + meta.journal
+}
+
+/// Expected byte length of each disk file (journal region included).
 pub fn disk_file_len(meta: &ArrayMeta, layout: &CodeLayout) -> usize {
-    meta.stripes * layout.rows() * meta.block
+    disk_blocks(meta, layout) * meta.block
 }
 
 /// What a per-disk health probe found.
@@ -120,7 +125,10 @@ pub fn write_disks(
     stripes: &[Stripe],
 ) -> io::Result<()> {
     let rows = layout.rows();
-    let mut backend = FileBackend::create(dir, layout.disks(), meta.stripes * rows, meta.block)?;
+    // `create` zero-fills, so the journal tail past the stripes decodes
+    // as all-empty record slots (a cleanly shut-down journal).
+    let mut backend =
+        FileBackend::create(dir, layout.disks(), disk_blocks(meta, layout), meta.block)?;
     for (t, stripe) in stripes.iter().enumerate() {
         for d in 0..layout.disks() {
             for r in 0..rows {
@@ -140,7 +148,7 @@ pub fn write_disks(
 /// streaming one block at a time.
 pub fn write_one_disk(
     dir: &Path,
-    _meta: &ArrayMeta,
+    meta: &ArrayMeta,
     layout: &CodeLayout,
     stripes: &[Stripe],
     disk: usize,
@@ -152,6 +160,11 @@ pub fn write_one_disk(
         for r in 0..layout.rows() {
             w.write_all(stripe.block(Cell::new(r, disk)))?;
         }
+    }
+    // Zero journal tail: a rebuilt disk's record slots start out vacated.
+    let zeros = vec![0u8; meta.block];
+    for _ in 0..meta.journal {
+        w.write_all(&zeros)?;
     }
     w.into_inner()?.sync_data()
 }
@@ -208,6 +221,7 @@ mod tests {
             block: 64,
             stripes: 2,
             payload_len: 0,
+            journal: 3,
         };
         let layout = layout_of(&meta);
         let mut stripes: Vec<Stripe> = (0..2)
@@ -243,6 +257,7 @@ mod tests {
             block: 32,
             stripes: 1,
             payload_len: 0,
+            journal: 0,
         };
         let layout = layout_of(&meta);
         let stripes = vec![Stripe::zeroed(&layout, 32)];

@@ -10,6 +10,7 @@
 //! dcode rebuild <array-dir>
 //! dcode scrub <array-dir> [--repair on|off]
 //! dcode chaos --seed N --ops M [--code NAME --p N]
+//! dcode crash-sim [--seed N] [--all] [--json] [--mutate]
 //! dcode serve <array-dir> [--shards N] [--port P]
 //! dcode loadgen <host:port> [--ops N] [--out FILE]
 //! ```
@@ -37,6 +38,13 @@ USAGE:
   dcode scrub <array-dir> [--repair on|off]   # off = dry run, exit 5 if corrupt
   dcode chaos [--seed N] [--ops M] [--code NAME --p N]
                                        # seeded fault-injection soak (exit 3 on loss)
+  dcode crash-sim [--seed N] [--all] [--json] [--mutate]
+                                       # exhaustive write-hole crash sweep: every
+                                       # write-path op crashed at every write index,
+                                       # remounted, verified (exit 3 on loss);
+                                       # --all sweeps dcode/rdp/evenodd at p in {5,7};
+                                       # --mutate plants a journal-ordering bug the
+                                       # sweep must catch (harness self-test)
   dcode layout <code-name> [--p N]     # print a code's layout and spec
   dcode verify [--code NAME] [--p N]   # statically verify compiled schedules
   dcode verify --all                   # …for every code at p in {5,7,11,13,17}
@@ -82,6 +90,7 @@ fn run() -> Result<String, CliError> {
     let mut all = false;
     let mut assert_claims = false;
     let mut json = false;
+    let mut mutate = false;
     while i < args.len() {
         // Boolean flags take no value; everything else under `--` does.
         if args[i] == "--all" {
@@ -92,6 +101,9 @@ fn run() -> Result<String, CliError> {
             i += 1;
         } else if args[i] == "--json" {
             json = true;
+            i += 1;
+        } else if args[i] == "--mutate" {
+            mutate = true;
             i += 1;
         } else if let Some(name) = args[i].strip_prefix("--") {
             let value = args
@@ -183,6 +195,18 @@ fn run() -> Result<String, CliError> {
                 })
                 .transpose()?;
             commands::chaos(seed, ops, target)
+        }
+        "crash-sim" => {
+            if !positional.is_empty() {
+                return Err(usage(
+                    "crash-sim takes only --seed/--all/--json/--mutate flags",
+                ));
+            }
+            let seed: u64 = flag("seed")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| usage("--seed must be a number"))?;
+            commands::crash_sim(seed, all, json, mutate)
         }
         "layout" => {
             let [code_name] = positional.as_slice() else {

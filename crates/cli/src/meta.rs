@@ -18,6 +18,10 @@ pub struct ArrayMeta {
     pub stripes: usize,
     /// Exact byte length of the stored payload (the tail block is padded).
     pub payload_len: usize,
+    /// Blocks per disk reserved past the stripes for the parity-intent
+    /// journal region (0 = none, e.g. arrays from before journaling or
+    /// blocks too small to hold a record header).
+    pub journal: usize,
 }
 
 /// Errors loading or parsing metadata.
@@ -70,12 +74,13 @@ impl ArrayMeta {
     /// Serialize to the `meta.txt` format.
     pub fn to_text(&self) -> String {
         format!(
-            "code={}\np={}\nblock={}\nstripes={}\npayload_len={}\n",
+            "code={}\np={}\nblock={}\nstripes={}\npayload_len={}\njournal={}\n",
             self.code.name(),
             self.p,
             self.block,
             self.stripes,
-            self.payload_len
+            self.payload_len,
+            self.journal
         )
     }
 
@@ -86,6 +91,7 @@ impl ArrayMeta {
         let mut block = None;
         let mut stripes = None;
         let mut payload_len = None;
+        let mut journal = None;
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() {
@@ -103,6 +109,7 @@ impl ArrayMeta {
                 "block" => block = Some(v.parse().map_err(|_| bad("block"))?),
                 "stripes" => stripes = Some(v.parse().map_err(|_| bad("stripes"))?),
                 "payload_len" => payload_len = Some(v.parse().map_err(|_| bad("payload_len"))?),
+                "journal" => journal = Some(v.parse().map_err(|_| bad("journal"))?),
                 other => return Err(MetaError::Malformed(format!("unknown field '{other}'"))),
             }
         }
@@ -115,6 +122,9 @@ impl ArrayMeta {
             block: need(block, "block")?,
             stripes: need(stripes, "stripes")?,
             payload_len: need(payload_len, "payload_len")?,
+            // Absent in meta files written before journaling existed:
+            // those arrays simply have no journal region.
+            journal: journal.unwrap_or(0),
         })
     }
 
@@ -143,9 +153,19 @@ mod tests {
             block: 4096,
             stripes: 3,
             payload_len: 123456,
+            journal: 9,
         };
         let parsed = ArrayMeta::from_text(&m.to_text()).unwrap();
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn meta_without_journal_field_defaults_to_zero() {
+        // Files written before journaling existed lack the field.
+        let parsed =
+            ArrayMeta::from_text("code=dcode\np=7\nblock=64\nstripes=2\npayload_len=100\n")
+                .unwrap();
+        assert_eq!(parsed.journal, 0);
     }
 
     #[test]

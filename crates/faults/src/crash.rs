@@ -1,0 +1,110 @@
+//! Deterministic crash points: the panic payload a [`FaultInjector`]
+//! throws when an armed crash fires, and the harness-side catcher.
+//!
+//! A crash is modelled as a panic with a dedicated payload type unwinding
+//! the entire I/O stack mid-operation — exactly what a power cut does to
+//! the code above the device. The harness wraps the operation in
+//! [`catch_crash`], which converts a [`CrashPanic`] unwind into `None`
+//! and re-raises every other panic (an assertion failure in the code
+//! under test must still fail the test).
+//!
+//! [`FaultInjector`]: crate::FaultInjector
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Panic payload thrown by an armed crash point.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CrashPanic {
+    /// Writes that had passed the crash gate when the power went — the
+    /// crash fired on write index `writes_done` (0-based).
+    pub writes_done: u64,
+}
+
+/// Install a panic hook (once per process) that swallows the default
+/// "thread panicked" report for [`CrashPanic`] payloads and delegates
+/// everything else to the previous hook. A crash sweep fires hundreds of
+/// deliberate panics; without this the output drowns in backtraces that
+/// signal nothing.
+pub fn silence_crash_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run `f`, converting a [`CrashPanic`] unwind into `None`. Any other
+/// panic is resumed unchanged. Installs the silencing hook on first use.
+pub fn catch_crash<T>(f: impl FnOnce() -> T) -> Option<T> {
+    silence_crash_panics();
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if payload.downcast_ref::<CrashPanic>().is_some() {
+                None
+            } else {
+                resume_unwind(payload)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::{DiskBackend, FaultInjector, FaultPlan};
+
+    #[test]
+    fn crash_fires_after_exactly_n_writes() {
+        let mut inj = FaultInjector::new(MemBackend::new(1, 8, 4), FaultPlan::quiet(1));
+        inj.arm_crash(2);
+        let out = catch_crash(|| {
+            for b in 0..4 {
+                inj.write_block(0, b, &[b as u8; 4]).unwrap();
+            }
+        });
+        assert!(out.is_none(), "crash point must fire");
+        assert_eq!(inj.writes_done(), 2);
+        assert_eq!(inj.stats().crashes, 1);
+        // The two gated writes landed; the third never touched the medium.
+        inj.power_cycle();
+        let mut buf = [0u8; 4];
+        inj.read_block(0, 1, &mut buf).unwrap();
+        assert_eq!(buf, [1; 4]);
+        inj.read_block(0, 2, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn volatile_cache_loses_unflushed_writes_at_power_cycle() {
+        let mut plan = FaultPlan::quiet(2);
+        plan.volatile_cache = true;
+        let mut inj = FaultInjector::new(MemBackend::new(2, 4, 4), plan);
+        inj.write_block(0, 0, &[7; 4]).unwrap();
+        inj.write_block(1, 0, &[8; 4]).unwrap();
+        inj.flush(0).unwrap(); // disk 0 durable, disk 1 still buffered
+        assert_eq!(inj.unflushed_writes(), 1);
+        // Reads see the buffered copy until the crash.
+        let mut buf = [0u8; 4];
+        inj.read_block(1, 0, &mut buf).unwrap();
+        assert_eq!(buf, [8; 4]);
+        inj.power_cycle();
+        assert_eq!(inj.stats().writes_dropped, 1);
+        inj.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [7; 4], "flushed write must survive");
+        inj.read_block(1, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4], "un-flushed write must be lost");
+    }
+
+    #[test]
+    fn foreign_panics_are_resumed() {
+        let out = std::panic::catch_unwind(|| catch_crash(|| panic!("real bug")));
+        assert!(out.is_err(), "non-crash panics must propagate");
+    }
+}

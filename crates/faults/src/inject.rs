@@ -14,9 +14,10 @@
 //! taking wall-clock time.
 
 use crate::backend::{DiskBackend, DiskError};
+use crate::crash::CrashPanic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One deterministic fault, applied when the operation counter reaches
 /// [`ScheduledFault::at_op`].
@@ -80,6 +81,13 @@ pub struct FaultPlan {
     pub latency_base_us: u64,
     /// Additional virtual cost of a spiked operation, microseconds.
     pub latency_spike_us: u64,
+    /// Model a volatile write-back cache: writes are buffered per disk and
+    /// only reach the medium on [`DiskBackend::flush`]. A crash (armed via
+    /// [`FaultInjector::arm_crash`], resolved by
+    /// [`FaultInjector::power_cycle`]) discards everything un-flushed —
+    /// this is the mode that catches ack-before-durable bugs, where a
+    /// layer acknowledges a write it never made durable.
+    pub volatile_cache: bool,
     /// Deterministic one-shot faults.
     pub scheduled: Vec<ScheduledFault>,
 }
@@ -98,6 +106,7 @@ impl FaultPlan {
             p_latency_spike: 0.0,
             latency_base_us: 100,
             latency_spike_us: 50_000,
+            volatile_cache: false,
             scheduled: Vec::new(),
         }
     }
@@ -126,6 +135,11 @@ pub struct FaultStats {
     pub latency_spikes: u64,
     /// Total virtual latency charged, microseconds.
     pub latency_us: u64,
+    /// Crash points fired ([`FaultInjector::arm_crash`]).
+    pub crashes: u64,
+    /// Buffered writes discarded by [`FaultInjector::power_cycle`] —
+    /// writes that were issued but never flushed when the power went.
+    pub writes_dropped: u64,
 }
 
 /// A [`DiskBackend`] wrapper that injects the faults of a [`FaultPlan`].
@@ -137,6 +151,15 @@ pub struct FaultInjector<B> {
     next_scheduled: usize,
     bad: BTreeSet<(usize, usize)>,
     dead: BTreeSet<usize>,
+    /// Un-flushed writes when [`FaultPlan::volatile_cache`] is on,
+    /// keyed `(disk, block)` — the simulated write-back cache.
+    cache: BTreeMap<(usize, usize), Vec<u8>>,
+    /// Writes that have passed the crash gate (and so either reached the
+    /// medium or the cache).
+    writes_done: u64,
+    /// Armed crash point: the write with this index (0-based) panics with
+    /// [`CrashPanic`] instead of landing.
+    crash_at: Option<u64>,
     stats: FaultStats,
 }
 
@@ -154,6 +177,9 @@ impl<B: DiskBackend> FaultInjector<B> {
             next_scheduled: 0,
             bad: BTreeSet::new(),
             dead: BTreeSet::new(),
+            cache: BTreeMap::new(),
+            writes_done: 0,
+            crash_at: None,
             stats: FaultStats::default(),
         }
     }
@@ -200,6 +226,47 @@ impl<B: DiskBackend> FaultInjector<B> {
         self.bad.iter().copied().collect()
     }
 
+    /// Arm a deterministic crash point: exactly `after_writes` more
+    /// [`write_block`] calls succeed, then the next one panics with
+    /// [`CrashPanic`] instead of touching the medium. The panic unwinds
+    /// whatever stack sits above the backend — catch it with
+    /// [`catch_crash`], then call [`power_cycle`] before remounting.
+    ///
+    /// [`write_block`]: DiskBackend::write_block
+    /// [`catch_crash`]: crate::crash::catch_crash
+    /// [`power_cycle`]: FaultInjector::power_cycle
+    pub fn arm_crash(&mut self, after_writes: u64) {
+        self.crash_at = Some(self.writes_done + after_writes);
+    }
+
+    /// Disarm a pending crash point without firing it.
+    pub fn disarm_crash(&mut self) {
+        self.crash_at = None;
+    }
+
+    /// Writes that have passed the crash gate so far — the coordinate
+    /// system [`arm_crash`](FaultInjector::arm_crash) counts in. A crash
+    /// sweep measures an op once uncrashed, then arms every index below
+    /// the measured count.
+    pub fn writes_done(&self) -> u64 {
+        self.writes_done
+    }
+
+    /// Un-flushed buffered writes (always 0 unless
+    /// [`FaultPlan::volatile_cache`] is set).
+    pub fn unflushed_writes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Simulate the power coming back after a crash: drop every buffered
+    /// write that was never flushed and disarm any pending crash point.
+    /// The medium now holds exactly what was durable at the crash.
+    pub fn power_cycle(&mut self) {
+        self.stats.writes_dropped += self.cache.len() as u64;
+        self.cache.clear();
+        self.crash_at = None;
+    }
+
     /// Advance the operation clock: charge latency and fire any scheduled
     /// faults that have come due.
     fn tick(&mut self) {
@@ -233,7 +300,15 @@ impl<B: DiskBackend> FaultInjector<B> {
                 }
             }
             FaultKind::SilentCorrupt { disk, block } => {
-                // Flip one bit at rest, bypassing the fault machinery.
+                // Flip one bit at rest, bypassing the fault machinery. A
+                // buffered (un-flushed) copy is rotted in place, else the
+                // medium itself.
+                if let Some(cached) = self.cache.get_mut(&(disk, block)) {
+                    let bit = self.rng.gen_range(0..cached.len() * 8);
+                    cached[bit / 8] ^= 1 << (bit % 8);
+                    self.stats.silent_corruptions += 1;
+                    return;
+                }
                 let mut buf = vec![0u8; self.inner.block_size()];
                 if self.inner.read_block(disk, block, &mut buf).is_ok() {
                     let bit = self.rng.gen_range(0..buf.len() * 8);
@@ -278,6 +353,10 @@ impl<B: DiskBackend> DiskBackend for FaultInjector<B> {
             self.stats.transient_reads += 1;
             return Err(DiskError::Transient);
         }
+        if let Some(cached) = self.cache.get(&(disk, block)) {
+            buf.copy_from_slice(cached);
+            return Ok(());
+        }
         self.inner.read_block(disk, block, buf)
     }
 
@@ -287,16 +366,35 @@ impl<B: DiskBackend> DiskBackend for FaultInjector<B> {
         if self.dead.contains(&disk) {
             return Err(DiskError::Failed { disk });
         }
+        if self.crash_at == Some(self.writes_done) {
+            self.stats.crashes += 1;
+            self.crash_at = None;
+            std::panic::panic_any(CrashPanic {
+                writes_done: self.writes_done,
+            });
+        }
+        self.writes_done += 1;
         if self.plan.p_torn_write > 0.0 && self.rng.gen_bool(self.plan.p_torn_write) {
             // A prefix of the new data lands; the tail keeps the old
             // bytes; the caller sees a retryable error. A successful
             // retry overwrites the tear.
             let mut torn = vec![0u8; data.len()];
-            if self.inner.read_block(disk, block, &mut torn).is_ok() {
+            let old_ok = match self.cache.get(&(disk, block)) {
+                Some(cached) => {
+                    torn.copy_from_slice(cached);
+                    true
+                }
+                None => self.inner.read_block(disk, block, &mut torn).is_ok(),
+            };
+            if old_ok {
                 let cut = self.rng.gen_range(1..data.len().max(2));
                 let cut = cut.min(data.len());
                 torn[..cut].copy_from_slice(&data[..cut]);
-                let _ = self.inner.write_block(disk, block, &torn);
+                if self.plan.volatile_cache {
+                    self.cache.insert((disk, block), torn);
+                } else {
+                    let _ = self.inner.write_block(disk, block, &torn);
+                }
             }
             self.stats.torn_writes += 1;
             return Err(DiskError::Transient);
@@ -317,7 +415,11 @@ impl<B: DiskBackend> DiskBackend for FaultInjector<B> {
             } else {
                 data
             };
-        self.inner.write_block(disk, block, payload)?;
+        if self.plan.volatile_cache {
+            self.cache.insert((disk, block), payload.to_vec());
+        } else {
+            self.inner.write_block(disk, block, payload)?;
+        }
         // Drives remap bad sectors on a successful write.
         self.bad.remove(&(disk, block));
         Ok(())
@@ -327,6 +429,16 @@ impl<B: DiskBackend> DiskBackend for FaultInjector<B> {
         self.tick();
         if self.dead.contains(&disk) {
             return Err(DiskError::Failed { disk });
+        }
+        // Destage this disk's buffered writes to the medium, then flush it.
+        let pending: Vec<(usize, Vec<u8>)> = self
+            .cache
+            .range((disk, 0)..=(disk, usize::MAX))
+            .map(|(&(_, b), data)| (b, data.clone()))
+            .collect();
+        for (block, data) in pending {
+            self.inner.write_block(disk, block, &data)?;
+            self.cache.remove(&(disk, block));
         }
         self.inner.flush(disk)
     }

@@ -17,17 +17,28 @@
 //!   writes, silent bit flips, and latency spikes, plus scheduled
 //!   one-shot faults for reproducible chaos scenarios;
 //! * [`crc`] — the CRC32 (IEEE) block checksum that converts silent
-//!   corruption into detectable erasures one layer up.
+//!   corruption into detectable erasures one layer up;
+//! * [`crash`] — deterministic crash points: [`FaultInjector::arm_crash`]
+//!   unwinds the stack with a [`CrashPanic`] after exactly *n* writes,
+//!   [`catch_crash`] catches it, and the injector's volatile write-cache
+//!   mode drops un-flushed writes at the cut — the machinery behind the
+//!   write-hole crash sweep;
+//! * [`shared`] — [`SharedInjector`], a cloneable handle to one injector,
+//!   so a harness keeps its grip on the medium across the crash unwind.
 //!
 //! Everything is deterministic per seed: a chaos run that finds a bug is
 //! a regression test forever.
 
 pub mod backend;
+pub mod crash;
 pub mod crc;
 pub mod file;
 pub mod inject;
+pub mod shared;
 
 pub use backend::{DiskBackend, DiskError, MemBackend};
+pub use crash::{catch_crash, silence_crash_panics, CrashPanic};
 pub use crc::crc32;
 pub use file::{disk_file_name, FileBackend};
 pub use inject::{FaultInjector, FaultKind, FaultPlan, FaultStats, ScheduledFault};
+pub use shared::SharedInjector;

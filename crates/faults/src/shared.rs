@@ -1,0 +1,110 @@
+//! A cloneable handle to one [`FaultInjector`]: the backend a crash
+//! harness mounts an array on while keeping its own grip on the medium.
+//!
+//! An armed crash unwinds whatever owns the backend — the array under
+//! test, or an `attach` that consumed it halfway through replay — and a
+//! by-value backend would be dropped with it, taking the simulated medium
+//! along. [`SharedInjector`] routes every [`DiskBackend`] call through an
+//! `Arc<Mutex<…>>`, so the harness clone survives the unwind: it can
+//! [`power_cycle`](crate::FaultInjector::power_cycle) the injector, arm
+//! the next crash point, and hand a fresh clone to the remount.
+//!
+//! The mutex is deliberately poison-tolerant: a [`CrashPanic`] fires
+//! *inside* a backend call, i.e. while the lock is held, so every
+//! crash poisons it — which is exactly the situation the type exists for.
+//!
+//! [`CrashPanic`]: crate::CrashPanic
+
+use crate::backend::{DiskBackend, DiskError};
+use crate::inject::FaultInjector;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cloneable [`DiskBackend`] delegating to a shared [`FaultInjector`].
+pub struct SharedInjector<B> {
+    inner: Arc<Mutex<FaultInjector<B>>>,
+}
+
+impl<B> Clone for SharedInjector<B> {
+    fn clone(&self) -> Self {
+        SharedInjector {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: DiskBackend> SharedInjector<B> {
+    /// Wrap an injector; clones of the returned handle all address the
+    /// same injector (and the same medium).
+    pub fn new(injector: FaultInjector<B>) -> Self {
+        SharedInjector {
+            inner: Arc::new(Mutex::new(injector)),
+        }
+    }
+
+    /// Lock the underlying injector (to arm crash points, power-cycle,
+    /// read stats, or reach the medium). Tolerates poisoning: a crash
+    /// panic always fires while a backend call holds the lock.
+    pub fn lock(&self) -> MutexGuard<'_, FaultInjector<B>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<B: DiskBackend> DiskBackend for SharedInjector<B> {
+    fn disks(&self) -> usize {
+        self.lock().disks()
+    }
+
+    fn blocks(&self) -> usize {
+        self.lock().blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.lock().block_size()
+    }
+
+    fn read_block(&mut self, disk: usize, block: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.lock().read_block(disk, block, buf)
+    }
+
+    fn write_block(&mut self, disk: usize, block: usize, data: &[u8]) -> Result<(), DiskError> {
+        self.lock().write_block(disk, block, data)
+    }
+
+    fn flush(&mut self, disk: usize) -> Result<(), DiskError> {
+        self.lock().flush(disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::crash::catch_crash;
+    use crate::inject::FaultPlan;
+
+    #[test]
+    fn handle_survives_a_crash_and_stays_usable() {
+        let inj = FaultInjector::new(MemBackend::new(1, 4, 8), FaultPlan::quiet(3));
+        let handle = SharedInjector::new(inj);
+        let mut mounted = handle.clone();
+        mounted.write_block(0, 0, &[1u8; 8]).unwrap();
+        handle.lock().arm_crash(0);
+        let out = catch_crash(move || {
+            // `mounted` is moved in and dropped by the unwind, like an
+            // array consumed by `attach` would be.
+            mounted.write_block(0, 1, &[2u8; 8]).unwrap();
+        });
+        assert!(out.is_none());
+        // The medium is still reachable through the surviving handle,
+        // despite the poisoned lock.
+        handle.lock().power_cycle();
+        let mut again = handle.clone();
+        let mut buf = [0u8; 8];
+        again.read_block(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 8]);
+        again.read_block(0, 1, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8], "crashed write must not have landed");
+    }
+}

@@ -32,7 +32,9 @@
 //! ## Quick example
 //!
 //! ```
-//! use dcode_server::{Client, Response, Server, ServerConfig, ShardBackend, ShardConfig};
+//! use dcode_server::{
+//!     shard_blocks, Client, Response, Server, ServerConfig, ShardBackend, ShardConfig,
+//! };
 //! use dcode_faults::MemBackend;
 //!
 //! let config = ServerConfig {
@@ -44,7 +46,7 @@
 //!     .map(|_| {
 //!         Box::new(MemBackend::new(
 //!             config.shard.layout.disks(),
-//!             config.shard.stripes * config.shard.layout.rows(),
+//!             shard_blocks(&config.shard),
 //!             config.shard.block_size,
 //!         )) as ShardBackend
 //!     })
@@ -68,6 +70,6 @@ pub use metrics::{Histogram, ServerMetrics};
 pub use protocol::{read_frame, write_frame, ProtoError, Request, Response, MAX_FRAME};
 pub use server::{Server, ServerConfig};
 pub use shard::{
-    build_store, shard_of, spawn_engine_worker, ShardBackend, ShardConfig, ShardEngine, ShardJob,
-    ShardOp, ShardQueue, ShardSnapshot, ShardStore, StoreEngine,
+    build_store, shard_blocks, shard_of, spawn_engine_worker, ShardBackend, ShardConfig,
+    ShardEngine, ShardJob, ShardOp, ShardQueue, ShardSnapshot, ShardStore, StoreEngine,
 };

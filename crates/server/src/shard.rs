@@ -24,7 +24,8 @@
 use crate::metrics::{json_escape, ServerMetrics};
 use crate::protocol::Response;
 use dcode_array::{
-    ObjectStore, ResilientArray, ResilientStats, RetryPolicy, RotationScheme, StoreError,
+    journal_blocks_per_disk, ObjectStore, ReplaySummary, ResilientArray, ResilientStats,
+    RetryPolicy, RotationScheme, StoreError,
 };
 use dcode_codec::CacheStats;
 use dcode_core::layout::CodeLayout;
@@ -89,16 +90,26 @@ impl Default for ShardConfig {
     }
 }
 
-/// Build a shard's store over `backend`: `fresh` formats a new array and
-/// store; otherwise the array is attached to the existing medium (CRCs
-/// seeded from disk content) and the store index is read back from it.
+/// Blocks each backend disk must provide for this geometry: the data
+/// region plus the parity-intent journal tail. Size every shard backend
+/// with this, not `stripes * rows` — the journal lives past the stripes.
+pub fn shard_blocks(cfg: &ShardConfig) -> usize {
+    cfg.stripes * cfg.layout.rows() + journal_blocks_per_disk(&cfg.layout, cfg.block_size)
+}
+
+/// Build a shard's store over `backend`: `fresh` formats a new journaled
+/// array and store; otherwise the array is attached to the existing
+/// medium — which **replays any committed parity-intent records first**
+/// (closing the write hole from a previous crash), then seeds CRCs from
+/// disk content — and the store index is read back from it. Either way
+/// the shard only starts accepting ops over a consistent array.
 pub fn build_store(
     cfg: &ShardConfig,
     backend: ShardBackend,
     fresh: bool,
 ) -> Result<ShardStore, String> {
     if fresh {
-        let array = ResilientArray::format(
+        let array = ResilientArray::format_journaled(
             cfg.layout.clone(),
             cfg.block_size,
             cfg.stripes,
@@ -109,7 +120,7 @@ pub fn build_store(
         );
         ObjectStore::format(array, cfg.meta_elements).map_err(|e| format!("format store: {e}"))
     } else {
-        let array = ResilientArray::attach(
+        let array = ResilientArray::attach_journaled(
             cfg.layout.clone(),
             cfg.block_size,
             cfg.stripes,
@@ -263,6 +274,8 @@ pub struct ShardSnapshot {
     pub failed_slots: Vec<usize>,
     /// Hot spares not yet attached.
     pub spares_remaining: usize,
+    /// What mount-time journal replay did (None before the first attach).
+    pub last_replay: Option<ReplaySummary>,
 }
 
 impl Default for ShardSnapshot {
@@ -274,6 +287,7 @@ impl Default for ShardSnapshot {
             cache: CacheStats { hits: 0, misses: 0 },
             failed_slots: Vec::new(),
             spares_remaining: 0,
+            last_replay: None,
         }
     }
 }
@@ -283,12 +297,19 @@ impl ShardSnapshot {
     /// live at render time.
     pub fn to_json(&self, queue_depth: usize) -> String {
         let failed: Vec<String> = self.failed_slots.iter().map(usize::to_string).collect();
+        let (replay_outcome, replay_replayed) = match self.last_replay {
+            Some(summary) => (summary.outcome.name(), summary.replayed),
+            None => ("none", 0),
+        };
         format!(
             "{{\"queue_depth\":{queue_depth},\"objects\":{},\"ops_done\":{},\
              \"schedule_hits\":{},\"schedule_misses\":{},\
              \"element_reads\":{},\"element_writes\":{},\"retries\":{},\
              \"degraded_reads\":{},\"checksum_catches\":{},\"read_repairs\":{},\
              \"auto_fails\":{},\"rebuilds_completed\":{},\
+             \"journal_records\":{},\"journal_retires\":{},\
+             \"journal_replays\":{},\"journal_last_replay\":\"{}\",\
+             \"journal_last_replayed\":{},\
              \"failed_slots\":[{}],\"spares_remaining\":{}}}",
             self.objects,
             self.ops_done,
@@ -302,6 +323,11 @@ impl ShardSnapshot {
             self.stats.read_repairs,
             self.stats.auto_fails,
             self.stats.rebuilds_completed,
+            self.stats.journal_records,
+            self.stats.journal_retires,
+            self.stats.journal_replays,
+            replay_outcome,
+            replay_replayed,
             failed.join(","),
             self.spares_remaining,
         )
@@ -369,12 +395,17 @@ impl ShardEngine for StoreEngine {
             ShardOp::Scrub => match self.store.array_mut().scrub_pass() {
                 Ok(summary) => Response::Report(format!(
                     "{{\"shard\":{},\"stripes\":{},\"checksum_catches\":{},\
-                     \"degraded_reads\":{},\"read_repairs\":{}}}",
+                     \"degraded_reads\":{},\"read_repairs\":{},\
+                     \"parity_checked\":{},\"parity_mismatches\":{},\
+                     \"parity_repairs\":{}}}",
                     self.id,
                     summary.stripes,
                     summary.checksum_catches,
                     summary.degraded_reads,
                     summary.read_repairs,
+                    summary.parity_checked,
+                    summary.parity_mismatches,
+                    summary.parity_repairs,
                 )),
                 Err(e) => Response::Err(format!(
                     "shard {} scrub: {}",
@@ -394,6 +425,7 @@ impl ShardEngine for StoreEngine {
             cache: array.schedule_stats(),
             failed_slots: array.failed_slots(),
             spares_remaining: array.spares_remaining(),
+            last_replay: array.last_replay(),
         }
     }
 }
@@ -504,11 +536,7 @@ mod tests {
     use dcode_faults::MemBackend;
 
     fn mem_store(cfg: &ShardConfig) -> ShardStore {
-        let backend = MemBackend::new(
-            cfg.layout.disks(),
-            cfg.stripes * cfg.layout.rows(),
-            cfg.block_size,
-        );
+        let backend = MemBackend::new(cfg.layout.disks(), shard_blocks(cfg), cfg.block_size);
         build_store(cfg, Box::new(backend), true).unwrap()
     }
 
@@ -660,9 +688,10 @@ mod tests {
         let cfg = small_cfg();
         let mut store = mem_store(&cfg);
         store.put("persist", &[5u8; 300]).unwrap();
-        // Steal the medium back out of the array.
+        // Steal the medium back out of the array (journal region
+        // included — reattach replays it).
         let disks = cfg.layout.disks();
-        let blocks = cfg.stripes * cfg.layout.rows();
+        let blocks = shard_blocks(&cfg);
         let mut medium = MemBackend::new(disks, blocks, cfg.block_size);
         for d in 0..disks {
             let mut buf = vec![0u8; cfg.block_size];

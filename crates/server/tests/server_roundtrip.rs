@@ -5,7 +5,9 @@
 //! acknowledged PUT reads back**, including through the degraded shard.
 
 use dcode_faults::{FaultInjector, FaultKind, FaultPlan, MemBackend, ScheduledFault};
-use dcode_server::{shard_of, Client, Response, Server, ServerConfig, ShardBackend, ShardConfig};
+use dcode_server::{
+    shard_blocks, shard_of, Client, Response, Server, ServerConfig, ShardBackend, ShardConfig,
+};
 use std::collections::HashMap;
 
 const SHARDS: usize = 4;
@@ -31,7 +33,7 @@ fn test_config() -> ServerConfig {
 /// mid-run, and rots a block silently.
 fn backends(cfg: &ServerConfig) -> Vec<ShardBackend> {
     let disks = cfg.shard.layout.disks();
-    let blocks = cfg.shard.stripes * cfg.shard.layout.rows();
+    let blocks = shard_blocks(&cfg.shard);
     (0..cfg.shards)
         .map(|shard| -> ShardBackend {
             let mem = MemBackend::new(disks, blocks, cfg.shard.block_size);
