@@ -11,11 +11,11 @@ use crate::claims::{closed_forms, ClaimCheck, LoadBalance};
 use crate::cost::{encode_xors_per_data_element, program_xor_cost, update_parity_touches};
 use crate::critpath::{critical_path, CritPath};
 use crate::footprint::{degraded_read_footprint, encode_footprint, surviving_lf};
+use crate::fused::{analyze_fused_encode, FusedCost};
 use crate::peephole::analyze_program;
 use dcode_codec::XorProgram;
 use dcode_core::decoder::plan_column_recovery;
 use dcode_core::layout::CodeLayout;
-use dcode_core::Fnv1a;
 use dcode_iosim::{lf_display, load_balancing_factor};
 use dcode_verify::Diagnostic;
 use std::collections::BTreeSet;
@@ -69,8 +69,10 @@ pub struct AnalysisReport {
     pub p: usize,
     /// Array width in disks.
     pub disks: usize,
-    /// FNV-1a fingerprint of the compiled encode program's flat arrays —
-    /// ties this report to the exact artifact it analyzed.
+    /// The compiled encode program's content fingerprint
+    /// ([`XorProgram::fingerprint`]: FNV-1a over grid shape + flat
+    /// arrays) — ties this report to the exact artifact it analyzed, and
+    /// is the same key the schedule cache memoizes fused programs under.
     pub program_fingerprint: u64,
     /// Encode-side analysis.
     pub encode: EncodeAnalysis,
@@ -78,6 +80,8 @@ pub struct AnalysisReport {
     pub recovery: RecoveryAnalysis,
     /// Update-side analysis.
     pub update: UpdateAnalysis,
+    /// Fused-batch cost accounting (at [`FUSED_ANALYSIS_BATCH`] stripes).
+    pub fused: FusedCost,
     /// Average read LF over surviving disks for a full-stripe degraded
     /// read, averaged over every single failed column.
     pub degraded_avg_lf: f64,
@@ -128,6 +132,11 @@ impl AnalysisReport {
                 "\"recovery\": {{\"plans\": {plans}, ",
                 "\"xors_per_lost_element\": {xle}, \"max_levels\": {ml}}}, ",
                 "\"update\": {{\"avg\": {uavg}, \"max\": {umax}}}, ",
+                "\"fused\": {{\"batch\": {fbatch}, \"xor_cost\": {fcost}, ",
+                "\"single_xor_cost\": {fsingle}, ",
+                "\"total_source_reads\": {freads}, ",
+                "\"distinct_source_blocks\": {fblocks}, ",
+                "\"max_reads_per_block\": {fmax}}}, ",
                 "\"degraded_avg_lf\": {dlf}, ",
                 "\"claims\": [{claims}], \"diagnostics\": [{diags}], ",
                 "\"clean\": {clean}}}"
@@ -150,6 +159,12 @@ impl AnalysisReport {
             ml = self.recovery.max_levels,
             uavg = jf(self.update.avg),
             umax = self.update.max,
+            fbatch = self.fused.batch,
+            fcost = self.fused.xor_cost,
+            fsingle = self.fused.single_xor_cost,
+            freads = self.fused.total_source_reads,
+            fblocks = self.fused.distinct_source_blocks,
+            fmax = self.fused.max_reads_per_block,
             dlf = jf(self.degraded_avg_lf),
             claims = claims.join(", "),
             diags = diags.join(", "),
@@ -206,6 +221,16 @@ impl fmt::Display for AnalysisReport {
             self.update.max,
             lf_display(self.degraded_avg_lf),
         )?;
+        writeln!(
+            f,
+            "  fused:    batch {} -> {} XORs ({} single), {} reads over {} blocks, max {} reads/block",
+            self.fused.batch,
+            self.fused.xor_cost,
+            self.fused.single_xor_cost,
+            self.fused.total_source_reads,
+            self.fused.distinct_source_blocks,
+            self.fused.max_reads_per_block,
+        )?;
         for c in &self.claims {
             writeln!(f, "  claim     {c}")?;
         }
@@ -224,19 +249,10 @@ impl fmt::Display for AnalysisReport {
     }
 }
 
-/// Fingerprint a compiled program's flat arrays (length-prefixed, so
-/// adjacent arrays can't alias).
-fn program_fingerprint(program: &XorProgram) -> u64 {
-    let (targets, src_off, sources, level_off) = program.raw_parts();
-    let mut fp = Fnv1a::new();
-    for arr in [&targets, &src_off, &sources, &level_off] {
-        fp.word(arr.len() as u64);
-        for &w in arr {
-            fp.word(u64::from(w));
-        }
-    }
-    fp.finish()
-}
+/// Batch shape the report's fused-cost pass uses. Any shape proves the
+/// linearity claim (the fuser is shape-uniform; the exhaustive batch grid
+/// lives in `crate::fused`'s tests).
+pub const FUSED_ANALYSIS_BATCH: usize = 4;
 
 /// Run every static pass over `layout` and check the paper's claims.
 ///
@@ -295,6 +311,11 @@ pub fn analyze_layout(layout: &CodeLayout) -> AnalysisReport {
     let (avg, max) = update_parity_touches(layout);
     let update = UpdateAnalysis { avg, max };
 
+    // Fused-batch pass: the bulk fast path's program must cost exactly
+    // batch × the single-stripe program — zero XOR-count regression from
+    // fusing — and must not amplify any block's read fan-out.
+    let fused = analyze_fused_encode(layout, FUSED_ANALYSIS_BATCH);
+
     // Degraded-read pass: average surviving-disk read LF over every
     // single failed column.
     let mut lf_sum = 0.0;
@@ -304,9 +325,28 @@ pub fn analyze_layout(layout: &CodeLayout) -> AnalysisReport {
     }
     let degraded_avg_lf = lf_sum / disks as f64;
 
-    // Claim table.
+    // Claim table. The first two are artifact-vs-artifact and hold for
+    // any layout; the rest compare against the paper's closed forms.
     let mut claims = Vec::new();
+    claims.push(ClaimCheck::check(
+        "fused encode XORs (batch x single)",
+        "B x single-stripe XORs",
+        (fused.batch * fused.single_xor_cost) as f64,
+        fused.xor_cost as f64,
+    ));
+    claims.push(ClaimCheck::check(
+        "fused max reads per source block",
+        "single-stripe fan-out",
+        fused.single_max_reads_per_block as f64,
+        fused.max_reads_per_block as f64,
+    ));
     if let Some(forms) = closed_forms(layout.name(), layout.prime()) {
+        claims.push(ClaimCheck::check(
+            "fused encode XORs per data element",
+            forms.encode_formula,
+            forms.encode_per_element,
+            fused.xor_cost as f64 / (fused.batch * layout.data_len()) as f64,
+        ));
         claims.push(ClaimCheck::check(
             "encode XORs per data element",
             forms.encode_formula,
@@ -367,10 +407,11 @@ pub fn analyze_layout(layout: &CodeLayout) -> AnalysisReport {
         code: layout.name().to_string(),
         p: layout.prime(),
         disks,
-        program_fingerprint: program_fingerprint(&encode_prog),
+        program_fingerprint: encode_prog.fingerprint(),
         encode,
         recovery,
         update,
+        fused,
         degraded_avg_lf,
         claims,
         diagnostics,

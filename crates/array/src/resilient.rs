@@ -35,7 +35,7 @@ use crate::journal::{
     SlotHeader,
 };
 use crate::rotation::RotationScheme;
-use dcode_codec::{CacheStats, ScheduleCache, Stripe};
+use dcode_codec::{CacheStats, EncodeArena, ScheduleCache, Stripe};
 use dcode_core::grid::Cell;
 use dcode_core::layout::CodeLayout;
 use dcode_faults::{crc32, DiskBackend, DiskError};
@@ -202,6 +202,9 @@ pub struct ResilientArray<B> {
     /// every encode and degraded read replays a cached program and
     /// compiles nothing.
     schedules: ScheduleCache,
+    /// Reusable job buffers for batched multi-stripe re-encodes, so a
+    /// steady stream of spanning writes allocates no scratch vectors.
+    encode_arena: EncodeArena,
 }
 
 impl<B: DiskBackend> ResilientArray<B> {
@@ -304,6 +307,7 @@ impl<B: DiskBackend> ResilientArray<B> {
             mutation: None,
             stats: ResilientStats::default(),
             schedules: ScheduleCache::new(),
+            encode_arena: EncodeArena::new(),
         }
     }
 
@@ -847,11 +851,13 @@ impl<B: DiskBackend> ResilientArray<B> {
     /// stripe's data is fetched (through parity if degraded), modified,
     /// re-encoded, and written back — so writes work while degraded and
     /// mid-rebuild. A write spanning several stripes batches the
-    /// re-encodes through [`encode_stripes_pooled`] on the global worker
-    /// pool: one cached program, stripes encoded in parallel, which is
-    /// what lets a server batch many queued puts into one pooled encode.
+    /// re-encodes through [`encode_stripes_arena`] on the global worker
+    /// pool: one cached *fused* program replayed tile-major over the whole
+    /// batch, job buffers drawn from the array's own arena — which is what
+    /// lets a server batch many queued puts into one pooled encode without
+    /// steady-state allocation.
     ///
-    /// [`encode_stripes_pooled`]: dcode_codec::encode_stripes_pooled
+    /// [`encode_stripes_arena`]: dcode_codec::encode_stripes_arena
     pub fn write(&mut self, start: usize, bytes: &[u8]) -> Result<(), ArrayError> {
         assert!(
             bytes.len() % self.block_size == 0,
@@ -898,11 +904,12 @@ impl<B: DiskBackend> ResilientArray<B> {
         if segments.len() > 1 {
             let program = self.schedules.encode_program(&self.layout);
             let threads = minipool::effective_parallelism(scratches.len());
-            dcode_codec::encode_stripes_pooled(
+            dcode_codec::encode_stripes_arena(
                 &program,
                 &mut scratches,
                 minipool::global(),
                 threads,
+                &mut self.encode_arena,
             );
         }
         for (&(t, within, chunk, _), scratch) in segments.iter().zip(&scratches) {

@@ -1,8 +1,10 @@
 //! Criterion: full-stripe encode throughput for every code, all backends —
-//! the naive equation interpreter, the compiled [`XorProgram`] schedule
-//! (sequential, from the global schedule cache) and the pool-parallel
-//! public path, and the GF(2) bit-matrix — plus a `BENCH_encode.json`
-//! trajectory point comparing naive vs compiled.
+//! the naive equation interpreter, the compiled `XorProgram` schedule
+//! (sequential, from the global schedule cache), the pool-parallel public
+//! path, the fused multi-stripe bulk path (`bulk_fused`, measured
+//! steady-state in place on an 8-stripe batch), and the GF(2) bit-matrix —
+//! plus a `BENCH_encode.json` trajectory point comparing naive vs
+//! compiled.
 //!
 //! Environment knobs (used by the CI `bench-smoke` job):
 //!
@@ -15,7 +17,8 @@
 use criterion::{BenchmarkId, Criterion, Throughput};
 use dcode_baselines::registry::{build, EVALUATED_CODES};
 use dcode_codec::{
-    cache, encode_naive, encode_parallel, encode_with_matrix, generator_matrix, Stripe,
+    cache, encode_naive, encode_parallel, encode_stripes, encode_with_matrix, generator_matrix,
+    Stripe,
 };
 use std::io::Write;
 
@@ -109,6 +112,18 @@ fn bench_encode(c: &mut Criterion) {
                 );
             },
         );
+        // The fused bulk path on an 8-stripe batch, in place: encode only
+        // overwrites parity, so re-encoding the same batch each iteration
+        // is idempotent and measures the steady-state fused replay rather
+        // than per-iteration clone eviction. Throughput is per batch
+        // (8 × the single-stripe byte count).
+        const BULK: usize = 8;
+        group.throughput(Throughput::Bytes((layout.data_len() * block * BULK) as u64));
+        group.bench_function(BenchmarkId::new("bulk_fused", code.name()), |b| {
+            let mut ss: Vec<Stripe> = (0..BULK).map(|_| stripe.clone()).collect();
+            b.iter(|| encode_stripes(&layout, &mut ss, 1));
+        });
+        group.throughput(Throughput::Bytes((layout.data_len() * block) as u64));
         let matrix = generator_matrix(&layout);
         group.bench_with_input(
             BenchmarkId::new("bitmatrix", code.name()),

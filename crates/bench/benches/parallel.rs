@@ -1,21 +1,49 @@
 //! Criterion: thread-scaling of the pool-parallel encode paths, emitting
 //! `BENCH_parallel.json` at the repository root.
 //!
-//! Two shapes are measured per code, each on a dedicated
+//! Three shapes are measured per code, each on a dedicated
 //! [`minipool::WorkerPool`] sized to the requested fan-out (so the pool
 //! machinery is exercised even where the host clamp would collapse the
 //! public API to sequential):
 //!
 //! * `level/…/tN` — one stripe, ops of each dependency level fanned out
 //!   over N workers ([`XorProgram::run_pooled`]);
-//! * `bulk/…/tN` — a batch of stripes fanned out whole-stripe per job
-//!   ([`dcode_codec::bulk::encode_stripes_pooled`]).
+//! * `bulk/…/tN` — the **pre-fusion** bulk path, kept measurable for
+//!   before/after: each stripe replays the single-stripe program
+//!   independently (op-major, so every source block streams from memory
+//!   once per parity equation);
+//! * `bulk_fused/…/tN` — the shipping bulk path
+//!   ([`dcode_codec::bulk::encode_stripes_pooled`]): the batch replays
+//!   one fused tile-major program, touching each source block once per
+//!   batch.
+//!
+//! All three families measure **steady-state in-place** encode over the
+//! **same working set** — a `bulk_stripes()`-deep stripe set, cloned once
+//! per benchmark and re-encoded in place each iteration (encoding only
+//! overwrites parity cells, so re-running is idempotent). The `level`
+//! rows rotate through the set one stripe per iteration; the bulk rows
+//! encode the whole set per iteration. Keeping the working set identical
+//! matters more than it looks: the earlier clone-per-iteration scheme
+//! handed the single-stripe rows a cache-warm input (the clone *is* the
+//! warmup, and one stripe stays resident between iterations) while a
+//! 16-stripe batch evicted itself before each timed run — so level/bulk
+//! ratios measured cache capacity, not the encoder. With both families
+//! streaming the same footprint, the ratio isolates what the bulk path
+//! actually adds or removes per stripe.
 //!
 //! The JSON records `host_parallelism` alongside the medians: on a
 //! single-core host the t2/t4/t8 rows measure pool overhead, not speedup,
 //! and downstream tooling needs that context to read the numbers honestly.
 //!
-//! `DCODE_BENCH_FAST=1` shrinks blocks and sample counts for CI smoke.
+//! * `DCODE_BENCH_FAST=1` shrinks blocks and sample counts for CI smoke.
+//! * `DCODE_BENCH_ASSERT=1` asserts, per code at t1: in full mode, fused
+//!   bulk throughput is at least 90% of the `level` single-stripe
+//!   throughput — the bulk/level gap the fused path exists to close. In
+//!   fast mode that bar is structurally unreachable (a ~570 KiB stripe is
+//!   L2-resident and clocks 26-31 GiB/s; any multi-stripe batch exceeds
+//!   L2), so the smoke asserts a catastrophic-regression canary instead:
+//!   fused bulk ≥ 70% of the unfused bulk replay (70%, not ~100%,
+//!   because five samples at µs scale on a shared vCPU jitter by ±30%).
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use dcode_baselines::registry::{build, EVALUATED_CODES};
@@ -61,6 +89,42 @@ fn payload(len: usize) -> Vec<u8> {
         .collect()
 }
 
+/// The pre-fusion bulk path, reproduced here so the before/after rows
+/// keep measuring the same thing after the library switched to fused
+/// replay: chunk the batch across jobs, each job replaying the
+/// single-stripe program per stripe. Takes the `Vec` by mutable borrow
+/// and moves chunks through the pool (jobs need `'static` ownership),
+/// reassembling in order afterwards.
+fn encode_stripes_unfused(
+    program: &Arc<XorProgram>,
+    stripes: &mut Vec<Stripe>,
+    pool: &WorkerPool,
+    threads: usize,
+) {
+    let threads = threads.max(1).min(stripes.len().max(1));
+    if threads <= 1 {
+        for s in stripes.iter_mut() {
+            program.run(s);
+        }
+        return;
+    }
+    let chunk = stripes.len().div_ceil(threads);
+    let mut jobs = Vec::with_capacity(threads);
+    let mut rest = std::mem::take(stripes);
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        let mut owned = std::mem::replace(&mut rest, tail);
+        let prog = Arc::clone(program);
+        jobs.push(move || {
+            for s in &mut owned {
+                prog.run(s);
+            }
+            owned
+        });
+    }
+    stripes.extend(pool.run(jobs).into_iter().flatten());
+}
+
 fn bench_parallel(c: &mut Criterion) {
     let block = block_bytes();
     let mut group = c.benchmark_group("parallel");
@@ -76,29 +140,32 @@ fn bench_parallel(c: &mut Criterion) {
         for &t in &THREADS {
             let pool = WorkerPool::with_workers(t);
             group.throughput(Throughput::Bytes((layout.data_len() * block) as u64));
-            group.bench_with_input(
+            group.bench_function(
                 BenchmarkId::new(format!("level/{}", code.name()), format!("t{t}")),
-                &stripe,
-                |b, s| {
-                    b.iter_batched(
-                        || s.clone(),
-                        |mut s| XorProgram::run_pooled(&program, &mut s, &pool, t),
-                        criterion::BatchSize::LargeInput,
-                    );
+                |b| {
+                    let mut set = batch.clone();
+                    let mut k = 0;
+                    b.iter(|| {
+                        XorProgram::run_pooled(&program, &mut set[k], &pool, t);
+                        k = (k + 1) % set.len();
+                    });
                 },
             );
             group.throughput(Throughput::Bytes(
                 (layout.data_len() * block * batch.len()) as u64,
             ));
-            group.bench_with_input(
+            group.bench_function(
                 BenchmarkId::new(format!("bulk/{}", code.name()), format!("t{t}")),
-                &batch,
-                |b, stripes| {
-                    b.iter_batched(
-                        || stripes.clone(),
-                        |mut ss| encode_stripes_pooled(&program, &mut ss, &pool, t),
-                        criterion::BatchSize::LargeInput,
-                    );
+                |b| {
+                    let mut ss = batch.clone();
+                    b.iter(|| encode_stripes_unfused(&program, &mut ss, &pool, t));
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("bulk_fused/{}", code.name()), format!("t{t}")),
+                |b| {
+                    let mut ss = batch.clone();
+                    b.iter(|| encode_stripes_pooled(&program, &mut ss, &pool, t));
                 },
             );
         }
@@ -106,16 +173,17 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn gib(median_ns: f64, bytes: u64) -> f64 {
+    if median_ns <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0)
+}
+
 /// Write `BENCH_parallel.json`: every measurement plus the host context a
 /// reader needs to interpret thread-scaling on this machine.
 fn emit_trajectory_point(c: &Criterion) {
     let results = c.results();
-    let gib = |median_ns: f64, bytes: u64| -> f64 {
-        if median_ns <= 0.0 {
-            return 0.0;
-        }
-        bytes as f64 / median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0)
-    };
     let mut entries = String::new();
     for r in results {
         let bytes = match r.throughput {
@@ -132,10 +200,11 @@ fn emit_trajectory_point(c: &Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"parallel\",\n  \"p\": {P},\n  \"block_bytes\": {},\n  \
          \"bulk_stripes\": {},\n  \"threads\": [1, 2, 4, 8],\n  \
-         \"host_parallelism\": {},\n  \"results\": [\n{}  ]\n}}\n",
+         \"host_parallelism\": {},\n  \"fused_tile_bytes\": {},\n  \"results\": [\n{}  ]\n}}\n",
         block_bytes(),
         bulk_stripes(),
         minipool::host_parallelism(),
+        dcode_codec::fused_tile_bytes(),
         entries.trim_end_matches(",\n").to_string() + "\n",
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
@@ -145,8 +214,57 @@ fn emit_trajectory_point(c: &Criterion) {
     }
 }
 
+/// `DCODE_BENCH_ASSERT=1`: per code at t1, fused bulk must clear the
+/// regime-appropriate bar. Full mode: ≥ 90% of the single-stripe `level`
+/// throughput (the gap the fused tile-major path exists to close — the
+/// unfused `bulk` rows historically sat at ~half of `level`). Fast mode:
+/// ≥ 70% of the unfused bulk replay — the level bar is a cache-capacity
+/// artifact at smoke shapes (see the module docs), so CI only checks
+/// that fusing never catastrophically regresses the path it replaced.
+fn assert_fused_closes_the_gap(c: &Criterion) {
+    if std::env::var("DCODE_BENCH_ASSERT").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    let results = c.results();
+    let gib_of = |id: String| {
+        results.iter().find(|r| r.id == id).map(|r| {
+            let bytes = match r.throughput {
+                Some(criterion::Throughput::Bytes(b)) => b,
+                _ => 0,
+            };
+            gib(r.median_ns, bytes)
+        })
+    };
+    for &code in &EVALUATED_CODES {
+        let fused = gib_of(format!("parallel/bulk_fused/{}/t1", code.name()))
+            .expect("bulk_fused t1 row was measured");
+        let (baseline, frac, what) = if fast() {
+            let bulk = gib_of(format!("parallel/bulk/{}/t1", code.name()))
+                .expect("bulk t1 row was measured");
+            (bulk, 0.7, "unfused bulk")
+        } else {
+            let level = gib_of(format!("parallel/level/{}/t1", code.name()))
+                .expect("level t1 row was measured");
+            (level, 0.9, "level")
+        };
+        assert!(
+            fused >= frac * baseline,
+            "{}: fused bulk {fused:.3} GiB/s < {:.0}% of {what} {baseline:.3} GiB/s — \
+             the fused bulk path regressed below the gap-closing bar",
+            code.name(),
+            frac * 100.0
+        );
+        println!(
+            "bench assert ok: {} fused bulk {fused:.3} GiB/s >= {:.0}% of {what} {baseline:.3} GiB/s",
+            code.name(),
+            frac * 100.0
+        );
+    }
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_parallel(&mut c);
     emit_trajectory_point(&c);
+    assert_fused_closes_the_gap(&c);
 }

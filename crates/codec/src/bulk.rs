@@ -1,28 +1,79 @@
 //! Bulk payload encoding: split a large payload into stripes and encode
-//! them in parallel over the persistent worker pool.
+//! them through one fused, tile-major program over the persistent worker
+//! pool.
 //!
 //! Stripes are independent, so this is embarrassingly parallel — each
 //! worker job owns a disjoint chunk of the stripe vector (data-race
 //! freedom by construction, per the Rayon-style idiom the HPC guides
 //! recommend).
 //!
-//! **Pitfall (and why this module looks the way it does):** earlier
-//! revisions spawned a fresh set of scoped threads *inside every call* —
-//! thread creation plus join cost on the order of the work itself for
-//! small batches, which made "parallel" encoding measurably *slower* than
-//! single-threaded on several codes (see `BENCH_encode.json` history).
-//! Steady-state encode loops must never pay per-call spawns: jobs go to
-//! the parked workers of [`minipool::global`], the compiled program comes
-//! from the [`ScheduleCache`](crate::cache::ScheduleCache), and stripes
-//! move into jobs by ownership (a `mem::replace` with an allocation-free
-//! placeholder) rather than by copy.
+//! **Pitfalls (and why this module looks the way it does):**
+//!
+//! * Earlier revisions spawned a fresh set of scoped threads *inside every
+//!   call* — thread creation plus join cost on the order of the work
+//!   itself for small batches (see `BENCH_encode.json` history). Jobs go
+//!   to the parked workers of [`minipool::global`]; stripes move into
+//!   jobs by ownership (a `mem::replace` with an allocation-free
+//!   placeholder) rather than by copy.
+//! * Replaying the per-stripe program N independent times streams every
+//!   source block from DRAM once per parity equation (~2× per block),
+//!   which capped bulk encode at roughly half of single-stripe level
+//!   throughput (BENCH_parallel.json history). Uniform batches now
+//!   compile to one [`FusedProgram`] — memoized by the
+//!   [`ScheduleCache`](crate::cache::ScheduleCache) under
+//!   `(program fingerprint, batch)` — and replay tile-major, touching
+//!   each source block once per batch.
+//! * The per-call `Vec` churn of the take/restore storage dance is gone:
+//!   job buffers come from a reusable [`EncodeArena`] (thread-local for
+//!   the convenience entry points; long-lived owners like
+//!   `ResilientArray` and the server shard workers hold their own), so
+//!   steady-state bulk encode does not allocate stripe buffers.
 
 use crate::cache;
+use crate::fused::FusedProgram;
 use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
+use crate::tile::fused_tile_bytes;
 use dcode_core::layout::CodeLayout;
 use minipool::WorkerPool;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+/// Reusable scratch for the bulk encoder: the per-job `Vec<Stripe>`
+/// buffers stripes are moved into while worker jobs own them. Checking a
+/// buffer out pops a recycled vector (empty, capacity intact); every
+/// buffer is recycled on the way out — including across a panicking
+/// replay — so a steady-state encode loop reuses the same allocations on
+/// every wakeup. Cheap to construct; embed one per long-lived object (as
+/// `ResilientArray` and the server shard workers do) or let the
+/// convenience entry points use the thread-local instance.
+#[derive(Default)]
+pub struct EncodeArena {
+    bufs: Vec<Vec<Stripe>>,
+}
+
+impl EncodeArena {
+    /// An empty arena (no buffers until the first encode recycles some).
+    pub fn new() -> Self {
+        EncodeArena::default()
+    }
+
+    fn checkout(&mut self) -> Vec<Stripe> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut buf: Vec<Stripe>) {
+        buf.clear();
+        self.bufs.push(buf);
+    }
+}
+
+thread_local! {
+    /// Arena behind the signature-stable entry points; callers that want
+    /// buffer reuse across threads own an [`EncodeArena`] and call
+    /// [`encode_stripes_arena`].
+    static THREAD_ARENA: RefCell<EncodeArena> = RefCell::new(EncodeArena::new());
+}
 
 /// Split `payload` into as many stripes as needed (tail zero-padded) and
 /// encode each. `threads = 1` runs inline; more fan out over the
@@ -52,41 +103,84 @@ pub fn encode_payload(
 }
 
 /// Encode a slice of stripes in place, in parallel. The compiled
-/// [`XorProgram`] comes from the global schedule cache (no per-call
-/// compile) and jobs run on the global persistent pool (no per-call
-/// spawns). The requested `threads` is clamped to the host's available
-/// parallelism — see [`encode_stripes_pooled`] for the unclamped,
-/// explicit-pool form.
+/// programs (single and fused) come from the global schedule cache (no
+/// per-call compile) and jobs run on the global persistent pool (no
+/// per-call spawns). The requested `threads` is clamped to the host's
+/// available parallelism — see [`encode_stripes_pooled`] for the
+/// unclamped, explicit-pool form.
 pub fn encode_stripes(layout: &CodeLayout, stripes: &mut [Stripe], threads: usize) {
     let program = cache::global().encode_program(layout);
     let threads = minipool::effective_parallelism(threads);
     encode_stripes_pooled(&program, stripes, minipool::global(), threads);
 }
 
-/// Encode stripes with an explicit program, pool, and fan-out (not clamped
-/// to host parallelism — tests drive real pool fan-out with it). Each job
-/// takes ownership of a chunk of stripes via an allocation-free
-/// placeholder swap and replays the shared program sequentially over its
-/// chunk; stripe *contents* never cross threads by copy.
-///
-/// **Panic safety:** a panicking program replay (a malformed stripe, a
-/// corrupted schedule) is caught *inside* the job so the job still hands
-/// its chunk back; every chunk — encoded, partially encoded, or untouched
-/// — is restored into the caller's slice before the first panic is
-/// re-raised. Earlier revisions propagated the panic straight through the
-/// pool, leaving the whole slice holding the zero-length placeholder
-/// stripes from the ownership swap: a caller catching the unwind (a
-/// long-lived server, a test harness) would observe silent data loss.
-/// Now the slice never holds a placeholder after this returns or unwinds;
-/// stripes of the panicking chunk may be partially encoded, which the
-/// re-raised panic reports.
+/// [`encode_stripes_arena`] with the calling thread's thread-local arena —
+/// the signature-stable form for callers without a long-lived arena.
 pub fn encode_stripes_pooled(
     program: &Arc<XorProgram>,
     stripes: &mut [Stripe],
     pool: &WorkerPool,
     threads: usize,
 ) {
+    THREAD_ARENA.with(|a| {
+        encode_stripes_arena(program, stripes, pool, threads, &mut a.borrow_mut());
+    });
+}
+
+/// Encode stripes with an explicit program, pool, fan-out, and scratch
+/// arena (fan-out not clamped to host parallelism — tests drive real pool
+/// fan-out with it).
+///
+/// **Fused fast path:** when every stripe matches the program's grid with
+/// storage attached (block sizes may differ — the tile loop reads each
+/// stripe's own), the batch replays through one cached [`FusedProgram`],
+/// tile-major, so each source block streams through cache exactly once
+/// per batch. Anything else — a mixed-shape batch, a degraded placeholder
+/// — falls back to the original per-stripe replay, preserving its exact
+/// semantics (including where it panics).
+///
+/// **Panic safety:** a panicking replay (a malformed stripe, a corrupted
+/// schedule) is caught *inside* the job so the job still hands its chunk
+/// back; every chunk — encoded, partially encoded, or untouched — is
+/// restored into the caller's slice (and its buffer recycled into the
+/// arena) before the first panic is re-raised. Earlier revisions
+/// propagated the panic straight through the pool, leaving the whole
+/// slice holding the zero-length placeholder stripes from the ownership
+/// swap: a caller catching the unwind (a long-lived server, a test
+/// harness) would observe silent data loss. Now the slice never holds a
+/// placeholder after this returns or unwinds; stripes of the panicking
+/// chunk may be partially encoded, which the re-raised panic reports.
+pub fn encode_stripes_arena(
+    program: &Arc<XorProgram>,
+    stripes: &mut [Stripe],
+    pool: &WorkerPool,
+    threads: usize,
+    arena: &mut EncodeArena,
+) {
+    if stripes.is_empty() {
+        return;
+    }
     let threads = threads.max(1);
+    let uniform = stripes
+        .iter()
+        .all(|s| s.grid() == program.grid() && s.has_storage());
+    if uniform {
+        let fused = cache::global().fused_program(program, stripes.len());
+        let tile = fused_tile_bytes();
+        if threads == 1 || stripes.len() == 1 {
+            fused.run_with_tile(stripes, tile);
+            return;
+        }
+        let workers = threads.min(stripes.len());
+        run_chunked(
+            BatchProgram::Fused(fused, tile),
+            stripes,
+            pool,
+            workers,
+            arena,
+        );
+        return;
+    }
     if threads == 1 || stripes.len() <= 1 {
         for s in stripes.iter_mut() {
             program.run(s);
@@ -94,20 +188,57 @@ pub fn encode_stripes_pooled(
         return;
     }
     let workers = threads.min(stripes.len());
+    run_chunked(
+        BatchProgram::PerStripe(Arc::clone(program)),
+        stripes,
+        pool,
+        workers,
+        arena,
+    );
+}
+
+/// What a worker job replays over its owned chunk.
+#[derive(Clone)]
+enum BatchProgram {
+    /// Tile-major fused replay; the chunk is the batch range starting at
+    /// the job's first stripe index.
+    Fused(Arc<FusedProgram>, usize),
+    /// The original per-stripe replay (mixed-shape fallback).
+    PerStripe(Arc<XorProgram>),
+}
+
+/// Chunk `stripes` across `workers` pool jobs by ownership and replay
+/// `prog` over each chunk, with the panic-restore contract described on
+/// [`encode_stripes_arena`].
+fn run_chunked(
+    prog: BatchProgram,
+    stripes: &mut [Stripe],
+    pool: &WorkerPool,
+    workers: usize,
+    arena: &mut EncodeArena,
+) {
     let chunk = stripes.len().div_ceil(workers);
     let mut jobs = Vec::with_capacity(workers);
-    for part in stripes.chunks_mut(chunk) {
+    for (k, part) in stripes.chunks_mut(chunk).enumerate() {
         // Move the chunk's stripes into the job (placeholder swap: no
-        // block is copied or reallocated); the job returns them encoded.
-        let mut owned: Vec<Stripe> = part
-            .iter_mut()
-            .map(|s| std::mem::replace(s, Stripe::placeholder(s.grid(), s.block_size())))
-            .collect();
-        let prog = Arc::clone(program);
+        // block is copied or reallocated; the Vec itself is a recycled
+        // arena buffer); the job returns them encoded.
+        let mut owned = arena.checkout();
+        owned.extend(
+            part.iter_mut()
+                .map(|s| std::mem::replace(s, Stripe::placeholder(s.grid(), s.block_size()))),
+        );
+        let prog = prog.clone();
+        let first = k * chunk;
         jobs.push(move || {
-            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                for s in &mut owned {
-                    prog.run(s);
+            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &prog {
+                BatchProgram::Fused(fused, tile) => {
+                    fused.run_range_with_tile(&mut owned, first, *tile);
+                }
+                BatchProgram::PerStripe(single) => {
+                    for s in &mut owned {
+                        single.run(s);
+                    }
                 }
             }))
             .err();
@@ -117,10 +248,11 @@ pub fn encode_stripes_pooled(
     let done = pool.run(jobs);
     let mut first_panic = None;
     let mut slots = stripes.iter_mut();
-    for (chunk, panic) in done {
-        for encoded in chunk {
+    for (mut chunk, panic) in done {
+        for encoded in chunk.drain(..) {
             *slots.next().expect("chunks cover the slice") = encoded;
         }
+        arena.recycle(chunk);
         if first_panic.is_none() {
             first_panic = panic;
         }
@@ -188,6 +320,36 @@ mod tests {
     }
 
     #[test]
+    fn arena_buffers_are_recycled_across_calls() {
+        let layout = dcode(5).unwrap();
+        let pool = minipool::WorkerPool::with_workers(4);
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        let mut arena = EncodeArena::new();
+        let per = layout.data_len() * 16;
+        let data = payload(per * 8);
+        let encode_once = |arena: &mut EncodeArena| {
+            let mut stripes: Vec<Stripe> = data
+                .chunks(per)
+                .map(|c| Stripe::from_data(&layout, 16, c))
+                .collect();
+            encode_stripes_arena(&program, &mut stripes, &pool, 4, arena);
+            assert!(stripes.iter().all(|s| verify_parities(&layout, s)));
+        };
+        encode_once(&mut arena);
+        let bufs_after_first = arena.bufs.len();
+        let caps: Vec<usize> = arena.bufs.iter().map(Vec::capacity).collect();
+        assert!(bufs_after_first >= 4, "every job buffer must be recycled");
+        encode_once(&mut arena);
+        assert_eq!(
+            arena.bufs.len(),
+            bufs_after_first,
+            "steady state must reuse, not mint, buffers"
+        );
+        let caps_again: Vec<usize> = arena.bufs.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_again, "buffer capacities must round-trip");
+    }
+
+    #[test]
     fn panicking_job_restores_stripes_instead_of_placeholders() {
         use dcode_core::grid::Cell;
         use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -205,8 +367,9 @@ mod tests {
             .chunks(per)
             .map(|c| Stripe::from_data(&layout, 16, c))
             .collect();
-        // Poison one stripe with a smaller code's shape: the compiled
-        // program indexes blocks past its grid and panics mid-chunk.
+        // Poison one stripe with a smaller code's shape: the batch is no
+        // longer uniform (no fused path), and the compiled program indexes
+        // blocks past the poison stripe's grid and panics mid-chunk.
         let poison = 5;
         let small = dcode(5).unwrap();
         stripes[poison] = Stripe::zeroed(&small, 16);
@@ -245,6 +408,36 @@ mod tests {
             .collect();
         encode_stripes_pooled(&program, &mut again, &pool, 4);
         assert!(again.iter().all(|s| verify_parities(&layout, s)));
+    }
+
+    #[test]
+    fn mixed_shape_batch_takes_the_unfused_path_and_stays_correct() {
+        // Two codes' stripes in one slice, encoded with the program of the
+        // *shared-prime* layout they all actually match — here, a batch
+        // where one stripe's storage is detached (a degraded placeholder):
+        // the fused path must be skipped, not panic.
+        let layout = dcode(5).unwrap();
+        let pool = minipool::WorkerPool::with_workers(2);
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        let per = layout.data_len() * 8;
+        let data = payload(per * 3);
+        let mut stripes: Vec<Stripe> = data
+            .chunks(per)
+            .map(|c| Stripe::from_data(&layout, 8, c))
+            .collect();
+        // Encode the healthy batch first for the expectation.
+        let mut expect = stripes.clone();
+        for s in &mut expect {
+            program.run(s);
+        }
+        // A placeholder in the slice forces the fallback; encoding it
+        // panics (no storage), but the healthy stripes still come back.
+        stripes.push(Stripe::placeholder(layout.grid(), 8));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            encode_stripes_pooled(&program, &mut stripes, &pool, 2);
+        }));
+        assert!(caught.is_err(), "placeholder replay must panic");
+        assert_eq!(&stripes[..3], &expect[..], "healthy stripes lost");
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Fused multi-stripe encode programs.
+//!
+//! [`bulk::encode_stripes`](crate::bulk::encode_stripes) used to replay
+//! one [`XorProgram`] N independent times — op-major within each stripe.
+//! On a machine whose last-level cache cannot hold a stripe, op-major
+//! order streams every data block from DRAM once *per parity equation
+//! that reads it* (≈2× for every RAID-6 code), which is exactly the
+//! bulk/level throughput gap BENCH_parallel.json measured.
+//!
+//! A [`FusedProgram`] compiles a batch of `B` stripes into **one**
+//! program over a *virtual block space* of `B × grid.len()` indices
+//! (stripe `s`'s block `i` lives at `s * grid.len() + i`), and its
+//! executor replays that program **tile-major**: for each stripe, for
+//! each tile-sized byte range, it runs *every* op of *every* dependency
+//! level over just that range before advancing. A tile of every block in
+//! the stripe fits in cache simultaneously (grid.len() × tile bytes — a
+//! few MiB at p=13 / 16 KiB), so each source byte is pulled from DRAM
+//! exactly once per batch no matter how many equations read it.
+//!
+//! Why the reordering is legal: XOR is elementwise — byte `k` of a target
+//! depends only on byte `k` of its sources — so restricting every op to
+//! one byte range and running all levels over that range preserves the
+//! program's data dependencies exactly (level `l+1` ops read level-`l`
+//! targets only within the already-written range). Stripes occupy
+//! disjoint virtual index ranges, so per-stripe execution order is free.
+//! `dcode-verify` proves each fused program GF(2)-equivalent to `B`
+//! copies of the single-stripe generator, and `dcode-analyze` asserts
+//! its op count is exactly `B ×` the single-stripe closed form.
+//!
+//! The interleaving scheme is **stripe-major within each level**: fused
+//! level `l` lists stripe 0's level-`l` ops, then stripe 1's, and so on.
+//! That keeps every per-stripe op range contiguous (the executor and the
+//! pooled partitioner slice it with arithmetic, no search) while
+//! preserving the invariant that a level is hazard-free — distinct
+//! stripes cannot alias, and each stripe's slice is hazard-free because
+//! the single-stripe level was.
+
+use crate::schedule::XorProgram;
+use crate::stripe::Stripe;
+use crate::tile::fused_tile_bytes;
+use crate::xor::xor_tile;
+use dcode_core::grid::Grid;
+
+/// One compiled program encoding a whole batch of stripes; see the module
+/// docs for the virtual index space and interleaving scheme. Pure data
+/// (`Send + Sync + Clone`), produced by [`FusedProgram::fuse`] and
+/// memoized by the [`ScheduleCache`](crate::cache::ScheduleCache) under
+/// `(program fingerprint, batch)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusedProgram {
+    batch: usize,
+    grid: Grid,
+    targets: Vec<u32>,
+    src_off: Vec<u32>,
+    sources: Vec<u32>,
+    level_off: Vec<u32>,
+}
+
+impl FusedProgram {
+    /// Fuse `batch` replays of `single` into one interleaved program.
+    /// Linear in the output size; the cache makes even that a one-time
+    /// cost per `(program, batch)` shape.
+    pub fn fuse(single: &XorProgram, batch: usize) -> Self {
+        assert!(batch > 0, "cannot fuse an empty batch");
+        let grid = single.grid();
+        let stride = grid.len() as u32;
+        let ops = single.op_count();
+        let mut targets = Vec::with_capacity(ops * batch);
+        let mut src_off = Vec::with_capacity(ops * batch + 1);
+        let mut sources = Vec::with_capacity(single.source_count() * batch);
+        let mut level_off = Vec::with_capacity(single.level_count() + 1);
+        src_off.push(0);
+        level_off.push(0);
+        for lv in 0..single.level_count() {
+            for s in 0..batch {
+                let base = s as u32 * stride;
+                for op in single.level_ops(lv) {
+                    targets.push(single.op_target(op) as u32 + base);
+                    sources.extend(single.op_sources(op).iter().map(|&src| src + base));
+                    src_off.push(sources.len() as u32);
+                }
+            }
+            level_off.push(targets.len() as u32);
+        }
+        FusedProgram {
+            batch,
+            grid,
+            targets,
+            src_off,
+            sources,
+            level_off,
+        }
+    }
+
+    /// Stripes per batch this program was fused for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Grid shape of each stripe in the batch.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Total ops across the batch (`batch ×` the single-stripe count).
+    pub fn op_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Total source-block reads across the batch.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of dependency levels (equal to the single program's).
+    pub fn level_count(&self) -> usize {
+        self.level_off.len() - 1
+    }
+
+    /// Virtual block index op `op` writes (`stripe * grid.len() + block`).
+    pub fn op_target(&self, op: usize) -> usize {
+        self.targets[op] as usize
+    }
+
+    /// Virtual block indices op `op` reads, in XOR order.
+    pub fn op_sources(&self, op: usize) -> &[u32] {
+        &self.sources[self.src_off[op] as usize..self.src_off[op + 1] as usize]
+    }
+
+    /// The ops of dependency level `level`, as a range of op indices.
+    pub fn level_ops(&self, level: usize) -> std::ops::Range<usize> {
+        self.level_off[level] as usize..self.level_off[level + 1] as usize
+    }
+
+    /// Rebuild a fused program from its flat arrays. As with
+    /// [`XorProgram::from_raw_parts`], only *structural* shape is asserted;
+    /// semantic invariants (in-range indices, stripe-major interleaving)
+    /// are deliberately not enforced so `dcode-verify`'s mutation
+    /// self-tests can construct known-bad fusions — e.g. a cross-stripe
+    /// source swap — and prove the symbolic checker rejects them.
+    pub fn from_raw_parts(
+        batch: usize,
+        grid: Grid,
+        targets: Vec<u32>,
+        src_off: Vec<u32>,
+        sources: Vec<u32>,
+        level_off: Vec<u32>,
+    ) -> Self {
+        assert!(batch > 0, "fused batch must be non-empty");
+        assert_eq!(src_off.len(), targets.len() + 1, "src_off must cover ops");
+        assert!(
+            src_off.windows(2).all(|w| w[0] <= w[1])
+                && src_off.first() == Some(&0)
+                && *src_off.last().expect("non-empty") as usize == sources.len(),
+            "src_off must be monotone over sources"
+        );
+        assert!(
+            level_off.len() >= 2
+                && level_off.windows(2).all(|w| w[0] <= w[1])
+                && level_off.first() == Some(&0)
+                && *level_off.last().expect("non-empty") as usize == targets.len(),
+            "level_off must be monotone over ops"
+        );
+        assert!(
+            level_off
+                .windows(2)
+                .all(|w| (w[1] - w[0]) as usize % batch == 0),
+            "each fused level must hold a whole number of per-stripe groups"
+        );
+        FusedProgram {
+            batch,
+            grid,
+            targets,
+            src_off,
+            sources,
+            level_off,
+        }
+    }
+
+    /// The flat arrays `(targets, src_off, sources, level_off)`, cloned
+    /// out. Inverse of [`FusedProgram::from_raw_parts`]; used by the
+    /// verify/analyze tooling to inspect and mutate fused programs.
+    pub fn raw_parts(&self) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+        (
+            self.targets.clone(),
+            self.src_off.clone(),
+            self.sources.clone(),
+            self.level_off.clone(),
+        )
+    }
+
+    /// Replay the fused program over `stripes` (which must hold exactly
+    /// [`FusedProgram::batch`] stripes of this grid, storage attached)
+    /// with the process's calibrated tile size. Byte-identical to running
+    /// the single-stripe program over each stripe in turn.
+    pub fn run(&self, stripes: &mut [Stripe]) {
+        self.run_with_tile(stripes, fused_tile_bytes());
+    }
+
+    /// [`FusedProgram::run`] with an explicit tile size (bench sweeps and
+    /// the differential proptests pin it; production goes through `run`).
+    pub fn run_with_tile(&self, stripes: &mut [Stripe], tile_bytes: usize) {
+        assert_eq!(
+            stripes.len(),
+            self.batch,
+            "stripe count does not match the fused batch"
+        );
+        self.run_range_with_tile(stripes, 0, tile_bytes);
+    }
+
+    /// Replay the sub-batch `stripes`, whose first element is batch index
+    /// `first` — the pooled executor's entry point: each worker job owns a
+    /// contiguous stripe range and replays only that range's ops. Stripes
+    /// occupy disjoint virtual index ranges, so ranges compose to exactly
+    /// [`FusedProgram::run`].
+    pub(crate) fn run_range_with_tile(
+        &self,
+        stripes: &mut [Stripe],
+        first: usize,
+        tile_bytes: usize,
+    ) {
+        assert!(
+            first + stripes.len() <= self.batch,
+            "stripe range exceeds the fused batch"
+        );
+        for (j, stripe) in stripes.iter_mut().enumerate() {
+            self.run_stripe(first + j, stripe, tile_bytes);
+        }
+    }
+
+    /// Tile-major replay of one stripe's slice of the fused program: for
+    /// each tile range, every level's ops for this stripe run before the
+    /// range advances, so each source block's tile is read while still
+    /// cache-resident from its first touch.
+    fn run_stripe(&self, s: usize, stripe: &mut Stripe, tile_bytes: usize) {
+        assert_eq!(
+            stripe.grid(),
+            self.grid,
+            "stripe shape does not match the fused program"
+        );
+        let base = (s * self.grid.len()) as u32;
+        let len = stripe.block_size();
+        let tile = tile_bytes.max(8);
+        let mut start = 0;
+        loop {
+            let end = (start + tile).min(len);
+            for lv in 0..self.level_count() {
+                let ops = self.level_ops(lv);
+                let per_stripe = ops.len() / self.batch;
+                let lo = ops.start + s * per_stripe;
+                for op in lo..lo + per_stripe {
+                    let target = (self.targets[op] - base) as usize;
+                    let mut out = stripe.take_block_at(target);
+                    let (slo, shi) = (self.src_off[op] as usize, self.src_off[op + 1] as usize);
+                    xor_tile(
+                        &mut out[start..end],
+                        &self.sources[slo..shi],
+                        (start, end),
+                        &|i: u32| stripe.block_at((i - base) as usize),
+                    );
+                    stripe.put_block_at(target, out);
+                }
+            }
+            if end >= len {
+                break;
+            }
+            start = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::verify_parities;
+    use dcode_baselines::registry::all_codes;
+
+    fn payload(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 55) as u8
+            })
+            .collect()
+    }
+
+    fn batch_of(layout: &dcode_core::layout::CodeLayout, bs: usize, n: usize) -> Vec<Stripe> {
+        (0..n)
+            .map(|k| {
+                Stripe::from_data(
+                    layout,
+                    bs,
+                    &payload(layout.data_len() * bs, (k as u64 + 1) * 77),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_sequential_replay_for_every_code() {
+        for p in [5usize, 7] {
+            for layout in all_codes(p) {
+                let single = XorProgram::compile_encode(&layout);
+                for batch in [1usize, 2, 5] {
+                    let mut expect = batch_of(&layout, 48, batch);
+                    for s in &mut expect {
+                        single.run(s);
+                    }
+                    let fused = FusedProgram::fuse(&single, batch);
+                    assert_eq!(fused.op_count(), single.op_count() * batch);
+                    assert_eq!(fused.source_count(), single.source_count() * batch);
+                    assert_eq!(fused.level_count(), single.level_count());
+                    let mut got = batch_of(&layout, 48, batch);
+                    fused.run(&mut got);
+                    assert_eq!(got, expect, "{} p={p} batch={batch}", layout.name());
+                    assert!(got.iter().all(|s| verify_parities(&layout, s)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_size_never_changes_bytes() {
+        // Odd block sizes against tiles smaller, equal, and larger than the
+        // block, including non-multiples — the tile loop's boundary math.
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let single = XorProgram::compile_encode(&layout);
+        let fused = FusedProgram::fuse(&single, 3);
+        let bs = 1037; // odd: wide groups + u64 + scalar tails all hit
+        let mut expect = batch_of(&layout, bs, 3);
+        for s in &mut expect {
+            single.run(s);
+        }
+        for tile in [1usize, 8, 100, 1024, 1037, 4096] {
+            let mut got = batch_of(&layout, bs, 3);
+            fused.run_with_tile(&mut got, tile);
+            assert_eq!(got, expect, "tile={tile}");
+        }
+    }
+
+    #[test]
+    fn multi_level_codes_respect_dependencies_across_tiles() {
+        // RDP's diagonal parity reads row parity (≥2 levels): tile-major
+        // execution must still feed level 1 the level-0 bytes of the same
+        // tile range, not stale ones.
+        let layout = dcode_baselines::rdp::rdp(11).unwrap();
+        let single = XorProgram::compile_encode(&layout);
+        assert!(single.level_count() >= 2);
+        let fused = FusedProgram::fuse(&single, 4);
+        let bs = 600; // several tiles at tile=128
+        let mut expect = batch_of(&layout, bs, 4);
+        for s in &mut expect {
+            single.run(s);
+        }
+        let mut got = batch_of(&layout, bs, 4);
+        fused.run_with_tile(&mut got, 128);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn run_range_composes_to_the_full_batch() {
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let single = XorProgram::compile_encode(&layout);
+        let fused = FusedProgram::fuse(&single, 6);
+        let mut expect = batch_of(&layout, 32, 6);
+        for s in &mut expect {
+            single.run(s);
+        }
+        let mut got = batch_of(&layout, 32, 6);
+        let (a, rest) = got.split_at_mut(2);
+        let (b, c) = rest.split_at_mut(3);
+        fused.run_range_with_tile(b, 2, 64);
+        fused.run_range_with_tile(c, 5, 64);
+        fused.run_range_with_tile(a, 0, 64);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn heterogeneous_block_sizes_within_a_batch_still_encode() {
+        // The executor reads each stripe's own block size; a batch mixing
+        // sizes (as an object store's tail stripe can) must stay correct.
+        let layout = dcode_core::dcode::dcode(5).unwrap();
+        let single = XorProgram::compile_encode(&layout);
+        let fused = FusedProgram::fuse(&single, 2);
+        let mut a = Stripe::from_data(&layout, 64, &payload(layout.data_len() * 64, 1));
+        let mut b = Stripe::from_data(&layout, 48, &payload(layout.data_len() * 48, 2));
+        let mut batch = vec![a.clone(), b.clone()];
+        fused.run(&mut batch);
+        single.run(&mut a);
+        single.run(&mut b);
+        assert_eq!(batch, vec![a, b]);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let fused = FusedProgram::fuse(&XorProgram::compile_encode(&layout), 3);
+        let (t, so, s, lo) = fused.raw_parts();
+        let rebuilt = FusedProgram::from_raw_parts(3, fused.grid(), t, so, s, lo);
+        assert_eq!(rebuilt, fused);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_batch_size_is_rejected() {
+        let layout = dcode_core::dcode::dcode(5).unwrap();
+        let fused = FusedProgram::fuse(&XorProgram::compile_encode(&layout), 3);
+        let mut two = batch_of(&layout, 16, 2);
+        fused.run(&mut two);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_level_rejected_by_raw_parts() {
+        // A level whose op count is not a multiple of the batch cannot be
+        // stripe-major; from_raw_parts must refuse it structurally.
+        let layout = dcode_core::dcode::dcode(5).unwrap();
+        let fused = FusedProgram::fuse(&XorProgram::compile_encode(&layout), 2);
+        let (t, so, s, _lo) = fused.raw_parts();
+        let mid = t.len() as u32 / 2 + 1; // off by one: ragged split
+        let lo = vec![0, mid, t.len() as u32];
+        let _ = FusedProgram::from_raw_parts(2, fused.grid(), t, so, s, lo);
+    }
+}

@@ -13,9 +13,16 @@
 //! * [`schedule`] — the plan compiler: layouts and recovery plans lower to
 //!   flat [`XorProgram`]s (contiguous index arrays, dependency levels, no
 //!   per-op allocation) that [`mod@encode`] and [`decode`] replay;
-//! * [`cache`] — the [`ScheduleCache`]: memoized compiled programs and
-//!   recovery subprograms keyed by layout fingerprint, so steady-state
-//!   encode/recover paths never recompile;
+//! * [`fused`] — the batch compiler: a single-stripe [`XorProgram`] and a
+//!   batch size fuse into one [`FusedProgram`] over the batch's virtual
+//!   block space, replayed tile-major so each source block streams
+//!   through cache once per batch (the bulk-encode fast path);
+//! * [`tile`] — runtime tile-size selection for the fused executor
+//!   (`DCODE_TILE_BYTES` override or a one-shot calibration probe);
+//! * [`cache`] — the [`ScheduleCache`]: memoized compiled programs,
+//!   recovery subprograms, and fused batch programs keyed by layout /
+//!   program fingerprint, so steady-state encode/recover paths never
+//!   recompile;
 //! * [`decode`] — replay of symbolic [`dcode_core::decoder::RecoveryPlan`]s
 //!   over real blocks;
 //! * [`update`] — read-modify-write partial-stripe writes with cascading
@@ -47,16 +54,23 @@ pub mod bulk;
 pub mod cache;
 pub mod decode;
 pub mod encode;
+pub mod fused;
 pub mod gf256;
 pub mod rs;
 pub mod schedule;
 pub mod stripe;
+pub mod tile;
 pub mod update;
 pub mod xor;
 
 pub use bitmatrix::{encode_with_matrix, generator_matrix, BitMatrix};
-pub use bulk::{encode_payload, encode_stripes, encode_stripes_pooled, payload_of};
+pub use bulk::{
+    encode_payload, encode_stripes, encode_stripes_arena, encode_stripes_pooled, payload_of,
+    EncodeArena,
+};
 pub use cache::{schedule_stats, CacheStats, CompiledRecovery, ScheduleCache};
+pub use fused::FusedProgram;
+pub use tile::fused_tile_bytes;
 pub use decode::{apply_plan, apply_plan_naive, recover_columns};
 pub use encode::{encode, encode_naive, encode_parallel, verify_parities};
 pub use schedule::XorProgram;

@@ -21,6 +21,7 @@ use crate::xor::xor_gather_into;
 use dcode_core::decoder::RecoveryPlan;
 use dcode_core::grid::Grid;
 use dcode_core::layout::CodeLayout;
+use dcode_core::Fnv1a;
 use minipool::WorkerPool;
 use std::sync::Arc;
 
@@ -38,6 +39,32 @@ pub struct XorProgram {
     sources: Vec<u32>,
     /// `levels + 1` entries; level `l` covers ops `level_off[l]..level_off[l+1]`.
     level_off: Vec<u32>,
+    /// FNV-1a over the grid shape and flat arrays, computed once at
+    /// construction. Deterministic in the content, so the derived equality
+    /// stays consistent; used by the fused-program cache to key batches by
+    /// program identity without holding the originating layout.
+    fingerprint: u64,
+}
+
+/// Length-prefixed FNV-1a over the grid dimensions and flat arrays
+/// (prefixing keeps adjacent arrays from aliasing into the same stream).
+fn content_fingerprint(
+    grid: Grid,
+    targets: &[u32],
+    src_off: &[u32],
+    sources: &[u32],
+    level_off: &[u32],
+) -> u64 {
+    let mut fp = Fnv1a::new();
+    fp.word(grid.rows as u64);
+    fp.word(grid.cols as u64);
+    for arr in [targets, src_off, sources, level_off] {
+        fp.word(arr.len() as u64);
+        for &w in arr {
+            fp.word(u64::from(w));
+        }
+    }
+    fp.finish()
 }
 
 impl XorProgram {
@@ -115,6 +142,14 @@ impl XorProgram {
         self.grid
     }
 
+    /// Content fingerprint (FNV-1a over the grid shape and flat arrays),
+    /// computed at construction. Equal programs have equal fingerprints;
+    /// the [`ScheduleCache`](crate::cache::ScheduleCache) keys fused batch
+    /// programs by `(fingerprint, batch)`.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Linear grid index of the block op `op` writes.
     pub fn op_target(&self, op: usize) -> usize {
         self.targets[op] as usize
@@ -156,12 +191,14 @@ impl XorProgram {
                 && *level_off.last().expect("non-empty") as usize == targets.len(),
             "level_off must be monotone over ops"
         );
+        let fingerprint = content_fingerprint(grid, &targets, &src_off, &sources, &level_off);
         XorProgram {
             grid,
             targets,
             src_off,
             sources,
             level_off,
+            fingerprint,
         }
     }
 
@@ -420,12 +457,20 @@ impl ProgramBuilder {
             // Zero-op program still needs a valid (empty) level table.
             self.level_off.push(0);
         }
+        let fingerprint = content_fingerprint(
+            self.grid,
+            &self.targets,
+            &self.src_off,
+            &self.sources,
+            &self.level_off,
+        );
         XorProgram {
             grid: self.grid,
             targets: self.targets,
             src_off: self.src_off,
             sources: self.sources,
             level_off: self.level_off,
+            fingerprint,
         }
     }
 }
@@ -582,6 +627,21 @@ mod tests {
         let (targets, src_off, sources, level_off) = prog.raw_parts();
         let rebuilt = XorProgram::from_raw_parts(prog.grid(), targets, src_off, sources, level_off);
         assert_eq!(rebuilt, prog);
+        assert_eq!(rebuilt.fingerprint(), prog.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_content_determined() {
+        let d7 = XorProgram::compile_encode(&dcode_core::dcode::dcode(7).unwrap());
+        let d7b = XorProgram::compile_encode(&dcode_core::dcode::dcode(7).unwrap());
+        let d5 = XorProgram::compile_encode(&dcode_core::dcode::dcode(5).unwrap());
+        assert_eq!(d7.fingerprint(), d7b.fingerprint());
+        assert_ne!(d7.fingerprint(), d5.fingerprint());
+        // A one-index mutation must move the fingerprint.
+        let (mut targets, src_off, sources, level_off) = d7.raw_parts();
+        targets.swap(0, 1);
+        let mutated = XorProgram::from_raw_parts(d7.grid(), targets, src_off, sources, level_off);
+        assert_ne!(mutated.fingerprint(), d7.fingerprint());
     }
 
     #[test]

@@ -1,38 +1,31 @@
 //! XOR kernels.
 //!
 //! Everything in a RAID-6 array code reduces to XOR over fixed-size blocks.
-//! The hot loop here works in `u64` lanes via `chunks_exact` — the compiler
-//! auto-vectorizes this shape well (see the Rust Performance Book's guidance
-//! on bounds-check-free iteration) — with a scalar tail for odd lengths.
+//! The hot loop works in 64-byte groups of eight `u64` lanes (`[u64; 8]`)
+//! — a shape LLVM autovectorizes to full-width vector ops on every current
+//! target without a line of unsafe or any explicit SIMD — with a `u64`
+//! mid-loop and a scalar tail for odd lengths.
 //!
-//! Two kernel families cover the schedule executor's needs:
+//! One const-generic kernel, [`wide_xor`], covers every arity/form pair
+//! the schedule executor needs:
 //!
-//! * **accumulate** (`dst ^= s₀ ^ s₁ ^ …`): [`xor_into`] plus the wider
-//!   [`xor_into2`]/[`xor_into4`]/[`xor_into8`] folds, which amortize the
-//!   accumulator load/store over up to eight source streams;
-//! * **set** (`dst = s₀ ^ s₁ ^ …`): [`xor_set2`]/[`xor_set4`]/[`xor_set8`],
-//!   which never read `dst`. The multi-source entry points open with a set
-//!   kernel instead of `fill(0)`-or-`copy_from_slice` followed by a separate
-//!   XOR pass, saving one full write (or read-modify-write) pass over the
+//! * **accumulate** (`SET = false`, `dst ^= s₀ ^ s₁ ^ …`): folds up to
+//!   eight source streams per accumulator load/store;
+//! * **set** (`SET = true`, `dst = s₀ ^ s₁ ^ …`): never reads `dst`. The
+//!   multi-source entry points open with a set kernel instead of
+//!   `fill(0)`-or-`copy_from_slice` followed by a separate XOR pass,
+//!   saving one full write (or read-modify-write) pass over the
 //!   destination.
+//!
+//! Earlier revisions hand-wrote six monomorphic kernels
+//! (`xor_into2/4/8`, `xor_set2/4/8`) as towers of zipped `chunks_exact`
+//! iterators; `wide_xor::<N, SET>` generates the same machine code from
+//! thirty lines (see the `xor_kernel` bench for the before/after numbers).
 
 /// `dst ^= src`, element-wise. Panics if lengths differ.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_into: length mismatch");
-    let mut dst_chunks = dst.chunks_exact_mut(8);
-    let mut src_chunks = src.chunks_exact(8);
-    for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
-        let dw = u64::from_ne_bytes(d.try_into().expect("chunk is 8 bytes"));
-        let sw = u64::from_ne_bytes(s.try_into().expect("chunk is 8 bytes"));
-        d.copy_from_slice(&(dw ^ sw).to_ne_bytes());
-    }
-    for (d, s) in dst_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(src_chunks.remainder())
-    {
-        *d ^= s;
-    }
+    wide_xor::<1, false>(dst, [src]);
 }
 
 /// `dst = a ^ b`, element-wise into a fresh output slice. Single pass over
@@ -40,7 +33,7 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
 pub fn xor_into_from(dst: &mut [u8], a: &[u8], b: &[u8]) {
     assert_eq!(dst.len(), a.len(), "xor_into_from: length mismatch (a)");
     assert_eq!(dst.len(), b.len(), "xor_into_from: length mismatch (b)");
-    xor_set2(dst, a, b);
+    wide_xor::<2, true>(dst, [a, b]);
 }
 
 /// XOR all `sources` together into `dst` (overwrite semantics: previous
@@ -55,291 +48,108 @@ pub fn xor_many_into(dst: &mut [u8], sources: &[&[u8]]) {
         [] => dst.fill(0),
         [a] => dst.copy_from_slice(a),
         [a, b, rest @ ..] => {
-            xor_set2(dst, a, b);
+            wide_xor::<2, true>(dst, [a, b]);
             for src in rest {
-                xor_into(dst, src);
+                wide_xor::<1, false>(dst, [src]);
             }
         }
     }
 }
 
-/// Tile size for the multi-source kernels: each destination tile stays
-/// resident in L1 while several sources stream through it, so a parity
-/// built from many members loads and stores its accumulator once per
-/// source *group* instead of once per source. Tuned with the
+/// Default tile size for the multi-source kernels: each destination tile
+/// stays resident in L1 while several sources stream through it, so a
+/// parity built from many members loads and stores its accumulator once
+/// per source *group* instead of once per source. Tuned with the
 /// `xor_kernel` bench's tile sweep (see EXPERIMENTS.md); 16 KiB leaves
 /// room in a 32 KiB L1d for the destination tile plus streaming sources.
+/// The fused bulk path refines this at runtime — see [`crate::tile`].
 pub const TILE_BYTES: usize = 16 * 1024;
+
+/// Bytes per wide lane group: eight `u64` lanes, which LLVM lowers to two
+/// 32-byte (or four 16-byte) vector ops on current targets.
+const WIDE_BYTES: usize = 64;
+
+type Wide = [u64; 8];
 
 #[inline]
 fn load_u64(bytes: &[u8]) -> u64 {
     u64::from_ne_bytes(bytes.try_into().expect("chunk is 8 bytes"))
 }
 
-/// `dst ^= a ^ b` over equal-length slices.
 #[inline]
-fn xor_into2(dst: &mut [u8], a: &[u8], b: &[u8]) {
-    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
-    let mut d = dst.chunks_exact_mut(8);
-    let mut ac = a.chunks_exact(8);
-    let mut bc = b.chunks_exact(8);
-    for ((d, a), b) in d.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
-        let w = load_u64(d) ^ load_u64(a) ^ load_u64(b);
-        d.copy_from_slice(&w.to_ne_bytes());
+fn load_wide(bytes: &[u8]) -> Wide {
+    let mut w = [0u64; 8];
+    for (lane, chunk) in w.iter_mut().zip(bytes.chunks_exact(8)) {
+        *lane = load_u64(chunk);
     }
-    for ((d, a), b) in d
-        .into_remainder()
-        .iter_mut()
-        .zip(ac.remainder())
-        .zip(bc.remainder())
-    {
-        *d ^= a ^ b;
+    w
+}
+
+#[inline]
+fn store_wide(bytes: &mut [u8], w: Wide) {
+    for (chunk, lane) in bytes.chunks_exact_mut(8).zip(w) {
+        chunk.copy_from_slice(&lane.to_ne_bytes());
     }
 }
 
-/// `dst ^= a ^ b ^ c ^ e` over equal-length slices — four source streams
-/// folded per accumulator load/store.
+/// The one kernel behind every arity/form pair: XOR `N` equal-length
+/// source streams into `dst`, overwriting (`SET = true`, `dst` never read)
+/// or accumulating (`SET = false`). Works in [`WIDE_BYTES`]-sized
+/// `[u64; 8]` groups, then single `u64` words, then bytes. Entirely safe
+/// code; the per-iteration slice indexing bounds-checks are hoisted by
+/// LLVM against the up-front length asserts.
 #[inline]
-fn xor_into4(dst: &mut [u8], a: &[u8], b: &[u8], c: &[u8], e: &[u8]) {
-    debug_assert!(
-        dst.len() == a.len()
-            && dst.len() == b.len()
-            && dst.len() == c.len()
-            && dst.len() == e.len()
-    );
-    let mut d = dst.chunks_exact_mut(8);
-    let mut ac = a.chunks_exact(8);
-    let mut bc = b.chunks_exact(8);
-    let mut cc = c.chunks_exact(8);
-    let mut ec = e.chunks_exact(8);
-    for ((((d, a), b), c), e) in d
-        .by_ref()
-        .zip(ac.by_ref())
-        .zip(bc.by_ref())
-        .zip(cc.by_ref())
-        .zip(ec.by_ref())
-    {
-        let w = load_u64(d) ^ load_u64(a) ^ load_u64(b) ^ load_u64(c) ^ load_u64(e);
-        d.copy_from_slice(&w.to_ne_bytes());
+fn wide_xor<const N: usize, const SET: bool>(dst: &mut [u8], srcs: [&[u8]; N]) {
+    let len = dst.len();
+    for s in &srcs {
+        assert_eq!(s.len(), len, "wide_xor: length mismatch");
     }
-    for ((((d, a), b), c), e) in d
-        .into_remainder()
-        .iter_mut()
-        .zip(ac.remainder())
-        .zip(bc.remainder())
-        .zip(cc.remainder())
-        .zip(ec.remainder())
-    {
-        *d ^= a ^ b ^ c ^ e;
+    let mut off = 0;
+    while off + WIDE_BYTES <= len {
+        let mut acc: Wide = if SET {
+            [0; 8]
+        } else {
+            load_wide(&dst[off..off + WIDE_BYTES])
+        };
+        for s in &srcs {
+            let w = load_wide(&s[off..off + WIDE_BYTES]);
+            for (a, x) in acc.iter_mut().zip(w) {
+                *a ^= x;
+            }
+        }
+        store_wide(&mut dst[off..off + WIDE_BYTES], acc);
+        off += WIDE_BYTES;
     }
-}
-
-/// `dst ^= s0 ^ … ^ s7` over equal-length slices — eight source streams
-/// folded per accumulator load/store. D-Code and X-Code parities at p = 13
-/// have 10–11 members, so one eight-wide fold plus a short remainder covers
-/// a whole equation in two passes over the destination tile.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn xor_into8(
-    dst: &mut [u8],
-    s0: &[u8],
-    s1: &[u8],
-    s2: &[u8],
-    s3: &[u8],
-    s4: &[u8],
-    s5: &[u8],
-    s6: &[u8],
-    s7: &[u8],
-) {
-    debug_assert!(
-        dst.len() == s0.len()
-            && dst.len() == s1.len()
-            && dst.len() == s2.len()
-            && dst.len() == s3.len()
-            && dst.len() == s4.len()
-            && dst.len() == s5.len()
-            && dst.len() == s6.len()
-            && dst.len() == s7.len()
-    );
-    let mut d = dst.chunks_exact_mut(8);
-    let mut c0 = s0.chunks_exact(8);
-    let mut c1 = s1.chunks_exact(8);
-    let mut c2 = s2.chunks_exact(8);
-    let mut c3 = s3.chunks_exact(8);
-    let mut c4 = s4.chunks_exact(8);
-    let mut c5 = s5.chunks_exact(8);
-    let mut c6 = s6.chunks_exact(8);
-    let mut c7 = s7.chunks_exact(8);
-    for ((((((((d, a), b), c), e), f), g), h), k) in d
-        .by_ref()
-        .zip(c0.by_ref())
-        .zip(c1.by_ref())
-        .zip(c2.by_ref())
-        .zip(c3.by_ref())
-        .zip(c4.by_ref())
-        .zip(c5.by_ref())
-        .zip(c6.by_ref())
-        .zip(c7.by_ref())
-    {
-        let w = load_u64(d)
-            ^ load_u64(a)
-            ^ load_u64(b)
-            ^ load_u64(c)
-            ^ load_u64(e)
-            ^ load_u64(f)
-            ^ load_u64(g)
-            ^ load_u64(h)
-            ^ load_u64(k);
-        d.copy_from_slice(&w.to_ne_bytes());
+    while off + 8 <= len {
+        let mut acc = if SET {
+            0u64
+        } else {
+            load_u64(&dst[off..off + 8])
+        };
+        for s in &srcs {
+            acc ^= load_u64(&s[off..off + 8]);
+        }
+        dst[off..off + 8].copy_from_slice(&acc.to_ne_bytes());
+        off += 8;
     }
-    for ((((((((d, a), b), c), e), f), g), h), k) in d
-        .into_remainder()
-        .iter_mut()
-        .zip(c0.remainder())
-        .zip(c1.remainder())
-        .zip(c2.remainder())
-        .zip(c3.remainder())
-        .zip(c4.remainder())
-        .zip(c5.remainder())
-        .zip(c6.remainder())
-        .zip(c7.remainder())
-    {
-        *d ^= a ^ b ^ c ^ e ^ f ^ g ^ h ^ k;
-    }
-}
-
-/// `dst = a ^ b` (set form: `dst` is written, never read).
-#[inline]
-fn xor_set2(dst: &mut [u8], a: &[u8], b: &[u8]) {
-    debug_assert!(dst.len() == a.len() && dst.len() == b.len());
-    let mut d = dst.chunks_exact_mut(8);
-    let mut ac = a.chunks_exact(8);
-    let mut bc = b.chunks_exact(8);
-    for ((d, a), b) in d.by_ref().zip(ac.by_ref()).zip(bc.by_ref()) {
-        let w = load_u64(a) ^ load_u64(b);
-        d.copy_from_slice(&w.to_ne_bytes());
-    }
-    for ((d, a), b) in d
-        .into_remainder()
-        .iter_mut()
-        .zip(ac.remainder())
-        .zip(bc.remainder())
-    {
-        *d = a ^ b;
-    }
-}
-
-/// `dst = a ^ b ^ c ^ e` (set form: `dst` is written, never read).
-#[inline]
-fn xor_set4(dst: &mut [u8], a: &[u8], b: &[u8], c: &[u8], e: &[u8]) {
-    debug_assert!(
-        dst.len() == a.len()
-            && dst.len() == b.len()
-            && dst.len() == c.len()
-            && dst.len() == e.len()
-    );
-    let mut d = dst.chunks_exact_mut(8);
-    let mut ac = a.chunks_exact(8);
-    let mut bc = b.chunks_exact(8);
-    let mut cc = c.chunks_exact(8);
-    let mut ec = e.chunks_exact(8);
-    for ((((d, a), b), c), e) in d
-        .by_ref()
-        .zip(ac.by_ref())
-        .zip(bc.by_ref())
-        .zip(cc.by_ref())
-        .zip(ec.by_ref())
-    {
-        let w = load_u64(a) ^ load_u64(b) ^ load_u64(c) ^ load_u64(e);
-        d.copy_from_slice(&w.to_ne_bytes());
-    }
-    for ((((d, a), b), c), e) in d
-        .into_remainder()
-        .iter_mut()
-        .zip(ac.remainder())
-        .zip(bc.remainder())
-        .zip(cc.remainder())
-        .zip(ec.remainder())
-    {
-        *d = a ^ b ^ c ^ e;
-    }
-}
-
-/// `dst = s0 ^ … ^ s7` (set form: `dst` is written, never read).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn xor_set8(
-    dst: &mut [u8],
-    s0: &[u8],
-    s1: &[u8],
-    s2: &[u8],
-    s3: &[u8],
-    s4: &[u8],
-    s5: &[u8],
-    s6: &[u8],
-    s7: &[u8],
-) {
-    debug_assert!(
-        dst.len() == s0.len()
-            && dst.len() == s1.len()
-            && dst.len() == s2.len()
-            && dst.len() == s3.len()
-            && dst.len() == s4.len()
-            && dst.len() == s5.len()
-            && dst.len() == s6.len()
-            && dst.len() == s7.len()
-    );
-    let mut d = dst.chunks_exact_mut(8);
-    let mut c0 = s0.chunks_exact(8);
-    let mut c1 = s1.chunks_exact(8);
-    let mut c2 = s2.chunks_exact(8);
-    let mut c3 = s3.chunks_exact(8);
-    let mut c4 = s4.chunks_exact(8);
-    let mut c5 = s5.chunks_exact(8);
-    let mut c6 = s6.chunks_exact(8);
-    let mut c7 = s7.chunks_exact(8);
-    for ((((((((d, a), b), c), e), f), g), h), k) in d
-        .by_ref()
-        .zip(c0.by_ref())
-        .zip(c1.by_ref())
-        .zip(c2.by_ref())
-        .zip(c3.by_ref())
-        .zip(c4.by_ref())
-        .zip(c5.by_ref())
-        .zip(c6.by_ref())
-        .zip(c7.by_ref())
-    {
-        let w = load_u64(a)
-            ^ load_u64(b)
-            ^ load_u64(c)
-            ^ load_u64(e)
-            ^ load_u64(f)
-            ^ load_u64(g)
-            ^ load_u64(h)
-            ^ load_u64(k);
-        d.copy_from_slice(&w.to_ne_bytes());
-    }
-    for ((((((((d, a), b), c), e), f), g), h), k) in d
-        .into_remainder()
-        .iter_mut()
-        .zip(c0.remainder())
-        .zip(c1.remainder())
-        .zip(c2.remainder())
-        .zip(c3.remainder())
-        .zip(c4.remainder())
-        .zip(c5.remainder())
-        .zip(c6.remainder())
-        .zip(c7.remainder())
-    {
-        *d = a ^ b ^ c ^ e ^ f ^ g ^ h ^ k;
+    while off < len {
+        let mut acc = if SET { 0u8 } else { dst[off] };
+        for s in &srcs {
+            acc ^= s[off];
+        }
+        dst[off] = acc;
+        off += 1;
     }
 }
 
 /// One destination tile: overwrite `d` with the XOR of every fetched source
-/// slice. Opens with the widest applicable *set* kernel (8/4/2/copy) so the
-/// destination is never pre-zeroed or pre-copied, then folds the remaining
-/// sources eight at a time, finishing with a 4/2/1 remainder.
-fn xor_tile<'a, I: Copy, F>(d: &mut [u8], indices: &[I], range: (usize, usize), fetch: &F)
+/// slice restricted to `range`. Opens with the widest applicable *set*
+/// kernel (8/4/2/copy) so the destination is never pre-zeroed or
+/// pre-copied, then folds the remaining sources eight at a time, finishing
+/// with a 4/2/1 remainder. `pub(crate)` because the fused bulk executor
+/// ([`crate::fused`]) drives tiles directly — tile-major across dependency
+/// levels — instead of through [`xor_gather_into`]'s op-major loop.
+pub(crate) fn xor_tile<'a, I: Copy, F>(d: &mut [u8], indices: &[I], range: (usize, usize), fetch: &F)
 where
     F: Fn(I) -> &'a [u8],
 {
@@ -356,55 +166,59 @@ where
             return;
         }
         [a0, a1, a2, a3, a4, a5, a6, a7, rest @ ..] => {
-            xor_set8(
+            wide_xor::<8, true>(
                 d,
-                s(*a0),
-                s(*a1),
-                s(*a2),
-                s(*a3),
-                s(*a4),
-                s(*a5),
-                s(*a6),
-                s(*a7),
+                [
+                    s(*a0),
+                    s(*a1),
+                    s(*a2),
+                    s(*a3),
+                    s(*a4),
+                    s(*a5),
+                    s(*a6),
+                    s(*a7),
+                ],
             );
             rest
         }
         [a0, a1, a2, a3, rest @ ..] => {
-            xor_set4(d, s(*a0), s(*a1), s(*a2), s(*a3));
+            wide_xor::<4, true>(d, [s(*a0), s(*a1), s(*a2), s(*a3)]);
             rest
         }
         [a0, a1, rest @ ..] => {
-            xor_set2(d, s(*a0), s(*a1));
+            wide_xor::<2, true>(d, [s(*a0), s(*a1)]);
             rest
         }
     };
     // Accumulate the rest, eight sources per pass.
     let mut octs = rest.chunks_exact(8);
     for o in octs.by_ref() {
-        xor_into8(
+        wide_xor::<8, false>(
             d,
-            s(o[0]),
-            s(o[1]),
-            s(o[2]),
-            s(o[3]),
-            s(o[4]),
-            s(o[5]),
-            s(o[6]),
-            s(o[7]),
+            [
+                s(o[0]),
+                s(o[1]),
+                s(o[2]),
+                s(o[3]),
+                s(o[4]),
+                s(o[5]),
+                s(o[6]),
+                s(o[7]),
+            ],
         );
     }
     let mut tail = octs.remainder();
     if let [a, b, c, e, more @ ..] = tail {
-        xor_into4(d, s(*a), s(*b), s(*c), s(*e));
+        wide_xor::<4, false>(d, [s(*a), s(*b), s(*c), s(*e)]);
         tail = more;
     }
     match tail {
         [] => {}
-        [a] => xor_into(d, s(*a)),
-        [a, b] => xor_into2(d, s(*a), s(*b)),
+        [a] => wide_xor::<1, false>(d, [s(*a)]),
+        [a, b] => wide_xor::<2, false>(d, [s(*a), s(*b)]),
         [a, b, c] => {
-            xor_into2(d, s(*a), s(*b));
-            xor_into(d, s(*c));
+            wide_xor::<2, false>(d, [s(*a), s(*b)]);
+            wide_xor::<1, false>(d, [s(*c)]);
         }
         _ => unreachable!("remainder after 8- and 4-wide folds has < 4 elements"),
     }
@@ -449,10 +263,10 @@ where
 }
 
 /// XOR all `sources` into `dst` with multi-source unrolling: up to eight
-/// sources are folded per pass in `u64` lanes, and the block is processed
-/// in cache-sized tiles so the destination stays hot while the sources
-/// stream through. Overwrites `dst` (no pre-zeroing pass); with no sources,
-/// `dst` becomes all-zero. Byte-identical to [`xor_many_into`].
+/// sources are folded per pass in `[u64; 8]` lanes, and the block is
+/// processed in cache-sized tiles so the destination stays hot while the
+/// sources stream through. Overwrites `dst` (no pre-zeroing pass); with no
+/// sources, `dst` becomes all-zero. Byte-identical to [`xor_many_into`].
 pub fn xor_many_into_unrolled(dst: &mut [u8], sources: &[&[u8]]) {
     xor_gather_into(dst, sources, |s| s);
 }
@@ -492,7 +306,10 @@ mod tests {
 
     #[test]
     fn odd_lengths_hit_the_tail() {
-        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 65] {
+        // Lengths straddling both the 64-byte wide groups and the 8-byte
+        // mid-loop: 63/65 exercise the wide→u64 handoff, 7/9 the u64→byte
+        // handoff, 64/128 the pure wide path.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 127, 128, 129] {
             let a: Vec<u8> = (0..len as u32).map(|i| (i * 7 + 3) as u8).collect();
             let b: Vec<u8> = (0..len as u32).map(|i| (i * 13 + 1) as u8).collect();
             let mut d = a.clone();
@@ -563,9 +380,10 @@ mod tests {
     fn unrolled_matches_naive_for_all_source_counts() {
         // 0..=20 sources covers: the empty/copy/set2/set4/set8 opening
         // groups, full 8-wide accumulate folds, and every 0..=7 remainder
-        // branch after them. Odd lengths exercise the scalar tails.
+        // branch after them. Odd lengths exercise the u64 and scalar tails;
+        // 257 crosses several 64-byte wide groups.
         for n_sources in 0..=20usize {
-            for len in [0usize, 1, 7, 8, 33, 257] {
+            for len in [0usize, 1, 7, 8, 33, 65, 257] {
                 let srcs: Vec<Vec<u8>> = (0..n_sources)
                     .map(|k| {
                         (0..len as u32)

@@ -1,0 +1,157 @@
+//! Property-based tests for the fused batch encoder: the fused tile-major
+//! replay must be byte-identical to sequential per-stripe replay for
+//! every payload, block size, batch shape, and tile size — and mixed
+//! batches (degraded placeholders, foreign grids) must fall back to the
+//! unfused path and still come out correct.
+
+use dcode_codec::fused::FusedProgram;
+use dcode_codec::{
+    encode_stripes_arena, encode_stripes_pooled, verify_parities, EncodeArena, Stripe, XorProgram,
+};
+use dcode_core::dcode::dcode;
+use dcode_core::layout::CodeLayout;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed.wrapping_mul(i as u64 | 1) >> 11) as u8)
+        .collect()
+}
+
+fn stripes_for(layout: &CodeLayout, block_size: usize, batch: usize, seed: u64) -> Vec<Stripe> {
+    let per = layout.data_len() * block_size;
+    (0..batch)
+        .map(|k| Stripe::from_data(layout, block_size, &payload(per, seed ^ (k as u64) << 7)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fused replay == sequential replay, across odd block sizes, primes,
+    /// batch shapes, and tile sizes.
+    #[test]
+    fn fused_matches_sequential_everywhere(
+        p_idx in 0usize..2,
+        block_size in 1usize..200,
+        batch_idx in 0usize..4,
+        tile in prop::sample::select(vec![8usize, 63, 64, 1024, 16 * 1024]),
+        seed in any::<u64>(),
+    ) {
+        let p = [5usize, 7][p_idx];
+        let batch = [1usize, 2, 3, 16][batch_idx];
+        let layout = dcode(p).unwrap();
+        let program = XorProgram::compile_encode(&layout);
+        let mut fused_stripes = stripes_for(&layout, block_size, batch, seed);
+        let mut seq_stripes = fused_stripes.clone();
+        for s in &mut seq_stripes {
+            program.run(s);
+        }
+        FusedProgram::fuse(&program, batch).run_with_tile(&mut fused_stripes, tile);
+        prop_assert_eq!(&fused_stripes, &seq_stripes);
+        for s in &fused_stripes {
+            prop_assert!(verify_parities(&layout, s));
+        }
+    }
+
+    /// The public bulk entry points (which pick the fused path themselves)
+    /// agree with per-stripe replay across fan-outs, and arena reuse does
+    /// not change bytes.
+    #[test]
+    fn bulk_entry_points_match_per_stripe_replay(
+        block_size in 1usize..96,
+        batch in 1usize..10,
+        threads in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let layout = dcode(7).unwrap();
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        let pool = minipool::WorkerPool::with_workers(2);
+        let mut expect = stripes_for(&layout, block_size, batch, seed);
+        for s in &mut expect {
+            program.run(s);
+        }
+        let mut via_pooled = stripes_for(&layout, block_size, batch, seed);
+        encode_stripes_pooled(&program, &mut via_pooled, &pool, threads);
+        prop_assert_eq!(&via_pooled, &expect);
+        let mut arena = EncodeArena::new();
+        for _ in 0..2 {
+            let mut via_arena = stripes_for(&layout, block_size, batch, seed);
+            encode_stripes_arena(&program, &mut via_arena, &pool, threads, &mut arena);
+            prop_assert_eq!(&via_arena, &expect);
+        }
+    }
+
+    /// A batch whose stripes have *different* block sizes still fuses
+    /// (the executor reads each stripe's own size) and stays correct.
+    #[test]
+    fn heterogeneous_block_sizes_fuse_correctly(
+        sizes in prop::collection::vec(1usize..130, 1..6),
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let layout = dcode(5).unwrap();
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        let pool = minipool::WorkerPool::with_workers(2);
+        let mut stripes: Vec<Stripe> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &bs)| {
+                Stripe::from_data(
+                    &layout,
+                    bs,
+                    &payload(layout.data_len() * bs, seed ^ k as u64),
+                )
+            })
+            .collect();
+        let mut expect = stripes.clone();
+        for s in &mut expect {
+            program.run(s);
+        }
+        encode_stripes_pooled(&program, &mut stripes, &pool, threads);
+        prop_assert_eq!(&stripes, &expect);
+    }
+
+    /// A batch with a foreign-grid stripe (a degraded/mismatched member)
+    /// must skip the fused path and take the legacy per-stripe fallback,
+    /// which panics on the mismatch exactly as it always has — and the
+    /// unwind must leave every healthy stripe's data intact, never a
+    /// placeholder.
+    #[test]
+    fn mixed_grid_batch_leaves_healthy_stripes_correct_after_unwind(
+        block_size in 1usize..64,
+        poison_pos in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let layout = dcode(7).unwrap();
+        let small = dcode(5).unwrap();
+        let program = Arc::new(XorProgram::compile_encode(&layout));
+        let pool = minipool::WorkerPool::with_workers(2);
+        let mut stripes = stripes_for(&layout, block_size, 4, seed);
+        let mut expect = stripes.clone();
+        for s in &mut expect {
+            program.run(s);
+        }
+        let poison_payload = payload(small.data_len() * block_size, seed ^ 0xDEAD);
+        stripes[poison_pos] = Stripe::from_data(&small, block_size, &poison_payload);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            encode_stripes_pooled(&program, &mut stripes, &pool, 2);
+        }));
+        prop_assert!(caught.is_err(), "foreign-grid stripe must panic the replay");
+        // Every healthy stripe is restored; stripes in chunks that did
+        // not contain the poison are fully encoded.
+        for (i, s) in stripes.iter().enumerate() {
+            if i == poison_pos {
+                prop_assert_eq!(s.grid(), small.grid());
+                continue;
+            }
+            prop_assert_eq!(
+                s.data_bytes(&layout),
+                expect[i].data_bytes(&layout),
+                "stripe {} lost data across the unwind",
+                i
+            );
+        }
+    }
+}

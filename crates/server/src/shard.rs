@@ -16,10 +16,20 @@
 //! parks the worker without touching the store, making queue-full
 //! behaviour deterministic to test.
 //!
-//! Large multi-stripe writes batch through the pooled encoder inside
-//! `ResilientArray::write` (one `encode_stripes_pooled` call per PUT
-//! segment batch), so a busy server keeps the worker pool warm without
-//! the shard layer knowing anything about stripes.
+//! The worker drains the queue in **batches** ([`ShardQueue`]'s
+//! `pop_batch`): it blocks for the first job, then greedily takes
+//! whatever else is already queued (up to a cap) without waiting. Every
+//! op in the batch executes, then ONE snapshot is published covering all
+//! of them, then the replies go out in arrival order — so a loaded shard
+//! pays one snapshot/publish per drain instead of one per op, while the
+//! ack-after-durable and publish-before-reply orderings dcode-race
+//! model-checks are preserved verbatim (each ack still follows a publish
+//! that reflects its op). Large multi-stripe writes inside each PUT batch
+//! further through the fused encoder in `ResilientArray::write` (one
+//! fused tile-major program per segment batch, job buffers from the
+//! array's own arena), so a busy server keeps the worker pool warm and
+//! allocation-free without the shard layer knowing anything about
+//! stripes.
 
 use crate::metrics::{json_escape, ServerMetrics};
 use crate::protocol::Response;
@@ -238,17 +248,23 @@ impl ShardQueue {
         self.ready.notify_all();
     }
 
-    /// Blocking pop; `None` means shutdown.
-    fn pop(&self) -> Option<ShardJob> {
+    /// Blocking batch pop into `into` (which must be empty): waits for
+    /// the first job, then greedily drains up to `max` already-queued
+    /// jobs without waiting for more. Returns `false` on shutdown.
+    /// Draining in arrival order keeps replies FIFO per connection; the
+    /// caller-owned buffer means a busy worker loop never allocates a
+    /// batch vector in steady state.
+    fn pop_batch(&self, into: &mut Vec<ShardJob>, max: usize) -> bool {
+        debug_assert!(into.is_empty());
         let mut inner = self.lock();
         loop {
             if inner.shutdown {
-                return None;
+                return false;
             }
-            if !inner.stalled {
-                if let Some(job) = inner.jobs.pop_front() {
-                    return Some(job);
-                }
+            if !inner.stalled && !inner.jobs.is_empty() {
+                let take = inner.jobs.len().min(max);
+                into.extend(inner.jobs.drain(..take));
+                return true;
             }
             inner = self
                 .ready
@@ -500,6 +516,11 @@ fn record_op_metrics(metrics: &ServerMetrics, op: &ShardOp, response: &Response)
     };
 }
 
+/// Most jobs one queue drain hands the worker. Bounds reply latency for
+/// the batch's first op while amortizing the snapshot/publish cost — a
+/// saturated queue pays one publish per `MAX_DRAIN` ops, not per op.
+const MAX_DRAIN: usize = 32;
+
 fn worker_loop<E: ShardEngine>(
     mut engine: E,
     queue: &ShardQueue,
@@ -507,26 +528,38 @@ fn worker_loop<E: ShardEngine>(
     metrics: &ServerMetrics,
 ) {
     let mut ops_done = 0u64;
-    while let Some(job) = queue.pop() {
-        let response = engine.execute(&job.op);
-        record_op_metrics(metrics, &job.op, &response);
-        #[allow(clippy::cast_possible_truncation)]
-        let us = job.queued_at.elapsed().as_micros() as u64;
-        match &job.op {
-            ShardOp::Put { .. } => metrics.put_latency.record(us),
-            ShardOp::Get { .. } => metrics.get_latency.record(us),
-            ShardOp::Delete { .. } => metrics.delete_latency.record(us),
-            ShardOp::Scrub => {}
+    // Both buffers are reused across drains: a saturated worker allocates
+    // nothing per batch.
+    let mut batch: Vec<ShardJob> = Vec::new();
+    let mut replies: Vec<(mpsc::Sender<Response>, Response)> = Vec::new();
+    while queue.pop_batch(&mut batch, MAX_DRAIN) {
+        for job in batch.drain(..) {
+            let response = engine.execute(&job.op);
+            record_op_metrics(metrics, &job.op, &response);
+            #[allow(clippy::cast_possible_truncation)]
+            let us = job.queued_at.elapsed().as_micros() as u64;
+            match &job.op {
+                ShardOp::Put { .. } => metrics.put_latency.record(us),
+                ShardOp::Get { .. } => metrics.get_latency.record(us),
+                ShardOp::Delete { .. } => metrics.delete_latency.record(us),
+                ShardOp::Scrub => {}
+            }
+            ops_done += 1;
+            replies.push((job.reply, response));
         }
-        ops_done += 1;
         // Publish before replying, so anything observable after an ack
         // (snapshot included) already reflects the acked operation; the
         // ack itself comes after the store completed it — an acknowledged
-        // PUT is durable in the array before the client sees OK. This
+        // PUT is durable in the array before the client sees OK. One
+        // publish covers the whole drained batch: it runs after every op
+        // in the batch executed and before any reply goes out, so each
+        // individual ack still follows a publish reflecting its op. This
         // ordering is the ack-after-durable invariant dcode-race
         // model-checks.
         publish(snapshot, engine.snapshot(ops_done));
-        let _ = job.reply.send(response);
+        for (reply, response) in replies.drain(..) {
+            let _ = reply.send(response);
+        }
     }
 }
 
@@ -646,6 +679,47 @@ mod tests {
         for rx in receivers {
             assert_eq!(rx.recv().unwrap(), Response::Ok);
         }
+        shard.queue.shutdown();
+        shard.worker.join().unwrap();
+    }
+
+    #[test]
+    fn batched_drain_acks_every_queued_put_and_publishes_once_after() {
+        // Stall the worker, queue a burst, release: the worker drains the
+        // burst as one batch — every put is acked, and the published
+        // snapshot reflects the whole batch (not just the first op) by
+        // the time the last ack is observed.
+        let cfg = small_cfg();
+        let shard = spawn_shard(
+            3,
+            mem_store(&cfg),
+            cfg.queue_cap,
+            Arc::new(ServerMetrics::new()),
+        );
+        shard.queue.set_stalled(true);
+        let mut receivers = Vec::new();
+        for i in 0..cfg.queue_cap {
+            let (tx, rx) = mpsc::channel();
+            shard
+                .queue
+                .try_push(ShardJob {
+                    op: ShardOp::Put {
+                        name: format!("burst{i}"),
+                        value: vec![i as u8; 100],
+                    },
+                    queued_at: Instant::now(),
+                    reply: tx,
+                })
+                .expect("below cap");
+            receivers.push(rx);
+        }
+        shard.queue.set_stalled(false);
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap(), Response::Ok);
+        }
+        let snap = shard.snapshot.lock().unwrap().clone();
+        assert_eq!(snap.ops_done, cfg.queue_cap as u64);
+        assert_eq!(snap.objects, cfg.queue_cap);
         shard.queue.shutdown();
         shard.worker.join().unwrap();
     }

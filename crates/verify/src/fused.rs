@@ -1,0 +1,264 @@
+//! Fused-batch equivalence: prove a [`FusedProgram`] over batch `B` is
+//! *exactly* `B` independent copies of the layout's single-stripe
+//! generator — the property that makes the bulk encoder's fused fast
+//! path safe to ship.
+//!
+//! The symbol space is widened to `B × data_len`: stripe `s`'s data
+//! element `j` is the unit vector `e_{s·data_len + j}`, so any
+//! cross-stripe contamination — an op reading a neighbouring stripe's
+//! block — is visible as foreign symbols in the final state, for every
+//! payload and block size at once. On top of the equivalence proof, a
+//! structural pass checks *stripe confinement* directly: every op in
+//! stripe `s`'s segment of a level may only touch blocks in stripe `s`'s
+//! virtual range. That catches even self-cancelling cross-stripe reads
+//! (an even multiplicity of a foreign block XORs to nothing and would
+//! slip past the equivalence check), and it is what makes the tile-major
+//! executor's per-stripe replay legal in the first place.
+
+use crate::diag::{DiagKind, Diagnostic};
+use crate::sym::SymVec;
+use dcode_codec::{generator_matrix, FusedProgram, XorProgram};
+use dcode_core::grid::CellKind;
+use dcode_core::layout::CodeLayout;
+
+/// The intended post-encode symbolic state of the whole batch, indexed by
+/// virtual block `s·grid.len() + grid.index(cell)`: stripe-shifted unit
+/// vectors on data cells, stripe-shifted generator rows on parity cells.
+fn intended_batch_state(layout: &CodeLayout, batch: usize) -> Vec<SymVec> {
+    let grid = layout.grid();
+    let data_len = layout.data_len();
+    let dim = batch * data_len;
+    let matrix = generator_matrix(layout);
+    let mut out = Vec::with_capacity(batch * grid.len());
+    for s in 0..batch {
+        let base = s * data_len;
+        for cell in grid.cells() {
+            out.push(match layout.kind(cell) {
+                CellKind::Data => SymVec::unit(
+                    dim,
+                    base + layout
+                        .logical_of(cell)
+                        .expect("data cell has logical index"),
+                ),
+                CellKind::Parity(eq) => {
+                    let mut v = SymVec::zero(dim);
+                    for j in 0..data_len {
+                        if matrix.get(eq, j) {
+                            v.toggle(base + j);
+                        }
+                    }
+                    v
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Prove `fused` is a correct batch encode for `layout`: stripe
+/// confinement, then symbolic replay from pristine per-stripe data, then
+/// comparison against [`intended_batch_state`]. Empty result = proved for
+/// every payload, block size, and tile size (the executor's tile loop
+/// only re-orders byte ranges of the same op sequence, and XOR is
+/// elementwise).
+pub fn verify_fused_program(layout: &CodeLayout, fused: &FusedProgram) -> Vec<Diagnostic> {
+    assert_eq!(
+        fused.grid(),
+        layout.grid(),
+        "fused program compiled for a different grid"
+    );
+    let grid = layout.grid();
+    let gl = grid.len();
+    let batch = fused.batch();
+    let data_len = layout.data_len();
+    let dim = batch * data_len;
+    let total = batch * gl;
+
+    // Pass 1: stripe confinement. Position within a level determines the
+    // owning stripe (the fuser emits levels stripe-major), so every
+    // block index the op touches must fall in that stripe's range.
+    let mut diags = Vec::new();
+    for lv in 0..fused.level_count() {
+        let ops = fused.level_ops(lv);
+        if ops.is_empty() {
+            continue;
+        }
+        let per_stripe = ops.len() / batch;
+        for (k, op) in ops.enumerate() {
+            let stripe = k / per_stripe;
+            let (lo, hi) = (stripe * gl, (stripe + 1) * gl);
+            let target = fused.op_target(op);
+            if !(lo..hi).contains(&target) {
+                diags.push(Diagnostic::error(DiagKind::CrossStripe {
+                    op,
+                    stripe,
+                    block: target,
+                }));
+            }
+            for &src in fused.op_sources(op) {
+                let src = src as usize;
+                if !(lo..hi).contains(&src) {
+                    diags.push(Diagnostic::error(DiagKind::CrossStripe {
+                        op,
+                        stripe,
+                        block: src,
+                    }));
+                }
+            }
+        }
+    }
+
+    // Pass 2: symbolic replay over the widened symbol space, mirroring
+    // the executor's sequential overwrite semantics (ops in level order;
+    // within a level the order is immaterial by hazard-freedom of the
+    // underlying single-stripe program plus stripe disjointness).
+    let mut state: Vec<SymVec> = Vec::with_capacity(total);
+    for s in 0..batch {
+        for cell in grid.cells() {
+            state.push(match layout.logical_of(cell) {
+                Some(j) => SymVec::unit(dim, s * data_len + j),
+                None => SymVec::zero(dim),
+            });
+        }
+    }
+    for op in 0..fused.op_count() {
+        let target = fused.op_target(op);
+        if target >= total {
+            diags.push(Diagnostic::error(DiagKind::OutOfRange { op, block: target }));
+            return diags;
+        }
+        let mut acc = SymVec::zero(dim);
+        for &src in fused.op_sources(op) {
+            let src = src as usize;
+            if src >= total {
+                diags.push(Diagnostic::error(DiagKind::OutOfRange { op, block: src }));
+                return diags;
+            }
+            acc.xor_assign(&state[src]);
+        }
+        state[target] = acc;
+    }
+
+    // Pass 3: the final state must equal B shifted copies of the
+    // generator's intended state.
+    let intended = intended_batch_state(layout, batch);
+    for s in 0..batch {
+        for cell in grid.cells() {
+            let v = s * gl + grid.index(cell);
+            if state[v] != intended[v] {
+                diags.push(Diagnostic::error(DiagKind::FusedWrongSymbols {
+                    stripe: s,
+                    cell,
+                    expected: intended[v].symbols(),
+                    actual: state[v].symbols(),
+                }));
+            }
+        }
+    }
+    diags
+}
+
+/// Fuse the layout's compiled encode program at `batch` and prove it —
+/// the form `verify_layout` and the CLI drive.
+pub fn verify_fused_encode(layout: &CodeLayout, batch: usize) -> Vec<Diagnostic> {
+    let single = XorProgram::compile_encode(layout);
+    verify_fused_program(layout, &FusedProgram::fuse(&single, batch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcode_baselines::registry::all_codes;
+
+    #[test]
+    fn fused_encode_proves_equivalent_for_every_code_and_prime() {
+        // The ISSUE's acceptance grid: all registry codes, p ∈ {5,7,11,13},
+        // a couple of batch shapes each.
+        for p in [5usize, 7, 11, 13] {
+            for layout in all_codes(p) {
+                for batch in [1usize, 3] {
+                    let diags = verify_fused_encode(&layout, batch);
+                    assert!(
+                        diags.is_empty(),
+                        "{} p={p} batch={batch}: {diags:?}",
+                        layout.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_stripe_index_swap_is_caught() {
+        // Mutation self-test: shift one source of a stripe-1 op down into
+        // stripe 0's virtual range. Both the confinement pass and the
+        // equivalence pass must object.
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let single = XorProgram::compile_encode(&layout);
+        let fused = FusedProgram::fuse(&single, 2);
+        let gl = layout.grid().len() as u32;
+        let batch = fused.batch();
+        let grid = fused.grid();
+        let (targets, src_off, mut sources, level_off) = fused.raw_parts();
+        // Find a source belonging to stripe 1 and pull it into stripe 0.
+        let victim = sources
+            .iter()
+            .position(|&s| s >= gl)
+            .expect("batch 2 has stripe-1 sources");
+        sources[victim] -= gl;
+        let mutant = FusedProgram::from_raw_parts(batch, grid, targets, src_off, sources, level_off);
+        let diags = verify_fused_program(&layout, &mutant);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::CrossStripe { .. })),
+            "confinement pass must flag the swap: {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::FusedWrongSymbols { .. })),
+            "equivalence pass must flag the swap: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn self_cancelling_cross_stripe_read_still_caught_by_confinement() {
+        // Append a foreign block twice to one op's source list: the XOR
+        // cancels, so the equivalence pass stays silent — confinement is
+        // the pass that must catch it.
+        let layout = dcode_core::dcode::dcode(5).unwrap();
+        let single = XorProgram::compile_encode(&layout);
+        let fused = FusedProgram::fuse(&single, 2);
+        let gl = layout.grid().len() as u32;
+        let (targets, mut src_off, mut sources, level_off) = fused.raw_parts();
+        // Op 0 belongs to stripe 0; give it a stripe-1 block twice.
+        let insert_at = src_off[1] as usize;
+        sources.insert(insert_at, gl);
+        sources.insert(insert_at, gl);
+        for off in src_off.iter_mut().skip(1) {
+            *off += 2;
+        }
+        let mutant = FusedProgram::from_raw_parts(
+            fused.batch(),
+            fused.grid(),
+            targets,
+            src_off,
+            sources,
+            level_off,
+        );
+        let diags = verify_fused_program(&layout, &mutant);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::CrossStripe { .. })),
+            "self-cancelling foreign reads must still be flagged: {diags:?}"
+        );
+        assert!(
+            !diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::FusedWrongSymbols { .. })),
+            "the cancelled pair must not corrupt the final state: {diags:?}"
+        );
+    }
+}

@@ -15,7 +15,10 @@
 //!
 //! * **Equivalence** ([`equiv`]) — replay a compiled encode or recovery
 //!   program symbolically and prove every block ends at the value the
-//!   layout's generator matrix demands.
+//!   layout's generator matrix demands. The [`fused`] pass extends this to
+//!   the bulk encoder's fused batch programs: over a batch-widened symbol
+//!   space, a fused program must be stripe-confined and equal to N
+//!   independent copies of the single-stripe generator.
 //! * **Static race check** ([`race`]) — prove every dependency level is
 //!   hazard-free (no op reads or writes another same-level op's target),
 //!   which makes `run_parallel` data-race-free *by construction*: workers
@@ -41,6 +44,7 @@
 
 pub mod diag;
 pub mod equiv;
+pub mod fused;
 pub mod lint;
 pub mod race;
 pub mod rank;
@@ -49,6 +53,7 @@ pub mod sym;
 
 pub use diag::{DiagKind, Diagnostic, Severity};
 pub use equiv::{intended_state, run_symbolic, verify_encode_program, verify_plan_program};
+pub use fused::{verify_fused_encode, verify_fused_program};
 pub use lint::lint;
 pub use race::check_levels;
 pub use rank::{columns_recoverable, rank_deficiency, verify_mds_by_rank, RankViolation};

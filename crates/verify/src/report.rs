@@ -3,7 +3,9 @@
 
 use crate::diag::{DiagKind, Diagnostic, Severity};
 use crate::equiv::{verify_encode_program, verify_plan_program};
+use crate::fused::verify_fused_program;
 use crate::lint::lint;
+use dcode_codec::FusedProgram;
 use crate::race::check_levels;
 use crate::rank::verify_mds_by_rank;
 use dcode_codec::XorProgram;
@@ -28,6 +30,9 @@ pub struct VerifyReport {
     pub encode_levels: usize,
     /// Two-column recovery programs verified (all `C(disks, 2)` pairs).
     pub plans_verified: usize,
+    /// Fused batch encode programs proved equivalent to N independent
+    /// copies of the single-stripe generator (one per batch shape).
+    pub fused_batches_verified: usize,
     /// Every finding from every pass, in pass order.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -51,8 +56,14 @@ impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} p={} ({} disks): encode {} ops / {} levels, {} recovery plans — ",
-            self.code, self.p, self.disks, self.encode_ops, self.encode_levels, self.plans_verified
+            "{} p={} ({} disks): encode {} ops / {} levels, {} recovery plans, {} fused batches — ",
+            self.code,
+            self.p,
+            self.disks,
+            self.encode_ops,
+            self.encode_levels,
+            self.plans_verified,
+            self.fused_batches_verified
         )?;
         if self.is_clean() {
             f.write_str("verified")
@@ -85,7 +96,10 @@ fn verify_program(
 /// 2. **encode program** — the compiled encode is race-free, lint-clean,
 ///    and symbolically equal to the layout's generator matrix;
 /// 3. **recovery programs** — for every 2-column erasure, the compiled
-///    plan is race-free, lint-clean, and symbolically restores the stripe.
+///    plan is race-free, lint-clean, and symbolically restores the stripe;
+/// 4. **fused batches** — the bulk encoder's fused batch programs are
+///    stripe-confined and symbolically equal to N independent copies of
+///    the single-stripe generator.
 ///
 /// A clean report is a proof (for every payload and block size) that the
 /// codec's compiled hot paths are correct and that `run_parallel` is safe.
@@ -132,6 +146,17 @@ pub fn verify_layout(layout: &CodeLayout) -> VerifyReport {
         }
     }
 
+    // The bulk encoder's fused fast path: prove a couple of batch shapes
+    // (a trivial and a non-trivial one — the fuser is shape-uniform, and
+    // the per-prime × per-batch exhaustive grid lives in the crate's
+    // tests, where runtime is cheaper).
+    let mut fused_batches_verified = 0usize;
+    for batch in [2usize, 3] {
+        let fused = FusedProgram::fuse(&encode, batch);
+        diagnostics.extend(verify_fused_program(layout, &fused));
+        fused_batches_verified += 1;
+    }
+
     VerifyReport {
         code: layout.name().to_string(),
         p: layout.prime(),
@@ -139,6 +164,7 @@ pub fn verify_layout(layout: &CodeLayout) -> VerifyReport {
         encode_ops: encode.op_count(),
         encode_levels: encode.level_count(),
         plans_verified,
+        fused_batches_verified,
         diagnostics,
     }
 }
@@ -155,6 +181,7 @@ mod tests {
         assert!(report.is_clean(), "{:?}", report.diagnostics);
         assert_eq!(report.plans_verified, 21);
         assert_eq!(report.encode_ops, 14);
+        assert_eq!(report.fused_batches_verified, 2);
         assert!(report.to_string().ends_with("verified"));
     }
 
