@@ -91,7 +91,8 @@ mod tests {
                         layout.name()
                     );
                     assert_eq!(
-                        c.max_reads_per_block, c.single_max_reads_per_block,
+                        c.max_reads_per_block,
+                        c.single_max_reads_per_block,
                         "{} p={p} batch={batch}: fusing amplified per-block reads",
                         layout.name()
                     );

@@ -53,6 +53,7 @@ pub mod cost;
 pub mod critpath;
 pub mod footprint;
 pub mod fused;
+pub mod optdelta;
 pub mod peephole;
 pub mod report;
 
@@ -66,6 +67,7 @@ pub use footprint::{
     degraded_read_footprint, encode_footprint, program_footprint, StaticFootprint,
 };
 pub use fused::{analyze_fused_encode, fused_xor_cost, FusedCost};
+pub use optdelta::{opt_delta, OptDeltaReport, OptEntry, FUSED_RECOVERY_BATCH};
 pub use peephole::{analyze_program, peephole, working_set_diagnostics, WORKING_SET_BUDGET_BYTES};
 pub use report::{
     analyze_layout, AnalysisReport, EncodeAnalysis, RecoveryAnalysis, UpdateAnalysis,

@@ -770,9 +770,19 @@ impl<B: DiskBackend> ResilientArray<B> {
         // stable failure pattern — the steady state of a dead disk or a
         // long rebuild — plans and compiles only on its first read.
         'replan: loop {
+            // Every wanted cell in an erased column is observable, not just
+            // the cells that actually failed: this read returns them from
+            // the scratch stripe after the program runs, and the optimizer
+            // is free to recycle any non-output erased cell as a scratch
+            // host. Declaring them keeps their reconstructed bytes intact.
+            let observable: BTreeSet<Cell> = wanted
+                .iter()
+                .copied()
+                .filter(|c| erased_cols.contains(&c.col))
+                .collect();
             let compiled = self
                 .schedules
-                .recovery_subprogram(&self.layout, erased_cols.iter().copied(), &missing)
+                .recovery_subprogram(&self.layout, erased_cols.iter().copied(), &observable)
                 .map_err(|_| self.too_many())?;
             for &cell in compiled.reads.iter() {
                 if loaded.contains(&cell) {
@@ -1642,6 +1652,54 @@ mod tests {
         let catches = a.stats().checksum_catches;
         assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
         assert_eq!(a.stats().checksum_catches, catches);
+    }
+
+    #[test]
+    fn pair_rot_in_partially_corrupt_columns_returns_clean_data() {
+        // Two rotten blocks on different disks force a two-column erasure
+        // whose columns still hold correctly-read, wanted survivors. Those
+        // survivors are observable outputs of the recovery subprogram, so
+        // the optimizer must not recycle their cells as scratch hosts —
+        // RDP's subprograms reuse scratch aggressively, which is exactly
+        // the shape that once leaked a foreign tenant's bytes into a read.
+        let layout = dcode_baselines::registry::build(dcode_baselines::CodeId::Rdp, 13).unwrap();
+        let backend = MemBackend::new(layout.disks(), layout.rows(), 16);
+        let mut a = ResilientArray::format(
+            layout,
+            16,
+            1,
+            RotationScheme::None,
+            backend,
+            RetryPolicy::default(),
+            4,
+        );
+        let data = payload(a.capacity_bytes());
+        a.write(0, &data).unwrap();
+        // Rot the deepest data block of the first two columns that carry
+        // at least two data cells each (so each erased column keeps wanted
+        // survivors, and the recovery chain is long enough for the scratch
+        // allocator to collapse slots). RotationScheme::None maps
+        // column -> disk, row -> block.
+        let grid = a.layout().grid();
+        let mut hit = Vec::new();
+        for col in 0..grid.cols {
+            let data_cells: Vec<Cell> = (0..grid.rows)
+                .map(|row| Cell::new(row, col))
+                .filter(|&c| a.layout().logical_of(c).is_some())
+                .collect();
+            if data_cells.len() >= 2 {
+                hit.push(*data_cells.last().unwrap());
+            }
+            if hit.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(hit.len(), 2, "need two partially-corruptible columns");
+        for cell in hit {
+            a.backend_mut().disk_bytes_mut(cell.col)[cell.row * 16 + 3] ^= 0x01;
+        }
+        assert_eq!(a.read(0, a.capacity_elements()).unwrap(), data);
+        assert_eq!(a.stats().checksum_catches, 2);
     }
 
     #[test]

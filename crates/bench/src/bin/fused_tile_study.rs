@@ -78,11 +78,7 @@ fn main() {
         }
 
         let fused = FusedProgram::fuse(&program, batch);
-        let mut row = format!(
-            "{:<10} {:>10.3}",
-            code.name(),
-            gib_per_s(bytes, unfused_ns)
-        );
+        let mut row = format!("{:<10} {:>10.3}", code.name(), gib_per_s(bytes, unfused_ns));
         for &tile in &TILES {
             let mut best = u128::MAX;
             for _ in 0..REPS {

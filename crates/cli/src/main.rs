@@ -48,9 +48,14 @@ USAGE:
   dcode layout <code-name> [--p N]     # print a code's layout and spec
   dcode verify [--code NAME] [--p N]   # statically verify compiled schedules
   dcode verify --all                   # …for every code at p in {5,7,11,13,17}
-  dcode analyze [--code NAME] [--p N] [--assert-claims] [--json]
+  dcode analyze [--code NAME] [--p N] [--assert-claims] [--json] [--opt-delta]
                                        # static cost/IO/parallelism analysis of
-                                       # compiled schedules vs the paper's claims
+                                       # compiled schedules vs the paper's claims;
+                                       # --opt-delta adds per-scope optimizer
+                                       # cost-delta certificates (registry codes
+                                       # must certify delta = 0; any violated
+                                       # certificate exits 3 even without
+                                       # --assert-claims)
   dcode analyze --all                  # …for every code at p in {5,7,11,13,17}
   dcode race [--all] [--json]          # model-check the pool/cache/shard
                                        # concurrency invariants (+ mutation
@@ -91,6 +96,7 @@ fn run() -> Result<String, CliError> {
     let mut assert_claims = false;
     let mut json = false;
     let mut mutate = false;
+    let mut opt_delta = false;
     while i < args.len() {
         // Boolean flags take no value; everything else under `--` does.
         if args[i] == "--all" {
@@ -104,6 +110,9 @@ fn run() -> Result<String, CliError> {
             i += 1;
         } else if args[i] == "--mutate" {
             mutate = true;
+            i += 1;
+        } else if args[i] == "--opt-delta" {
+            opt_delta = true;
             i += 1;
         } else if let Some(name) = args[i].strip_prefix("--") {
             let value = args
@@ -237,7 +246,7 @@ fn run() -> Result<String, CliError> {
         "analyze" => {
             if !positional.is_empty() {
                 return Err(usage(
-                    "analyze takes only --code/--p/--all/--assert-claims/--json flags",
+                    "analyze takes only --code/--p/--all/--assert-claims/--json/--opt-delta flags",
                 ));
             }
             let code = flag("code")
@@ -249,7 +258,7 @@ fn run() -> Result<String, CliError> {
                         .map_err(|_| usage("--p must be a prime number"))
                 })
                 .transpose()?;
-            commands::analyze(code, p, all, assert_claims, json)
+            commands::analyze(code, p, all, assert_claims, json, opt_delta)
         }
         "race" => {
             if !positional.is_empty() {

@@ -34,6 +34,7 @@ use crate::fused::FusedProgram;
 use crate::schedule::XorProgram;
 use crate::stripe::Stripe;
 use crate::tile::fused_tile_bytes;
+use dcode_core::decoder::Unrecoverable;
 use dcode_core::layout::CodeLayout;
 use minipool::WorkerPool;
 use std::cell::RefCell;
@@ -112,6 +113,30 @@ pub fn encode_stripes(layout: &CodeLayout, stripes: &mut [Stripe], threads: usiz
     let program = cache::global().encode_program(layout);
     let threads = minipool::effective_parallelism(threads);
     encode_stripes_pooled(&program, stripes, minipool::global(), threads);
+}
+
+/// Recover the same erased columns across a batch of stripes, in
+/// parallel, through the fused tile-major path. The compiled (and
+/// certified-optimized) column-recovery program comes from the global
+/// schedule cache, and — because [`FusedProgram`] is layout-agnostic —
+/// an N-stripe recovery batch fuses and executes exactly like a bulk
+/// encode: one stripe-major interleaved program, each surviving block
+/// streamed through cache once per batch. This is the entry point the
+/// rebuild scheduler's many-stripe decode batches use.
+///
+/// Every stripe must have storage attached with the erased columns'
+/// blocks present (their contents are ignored: recovery ops overwrite
+/// first), exactly as [`crate::decode::recover_columns`] expects.
+pub fn recover_stripes(
+    layout: &CodeLayout,
+    cols: &[usize],
+    stripes: &mut [Stripe],
+    threads: usize,
+) -> Result<(), Unrecoverable> {
+    let compiled = cache::global().column_program(layout, cols)?;
+    let threads = minipool::effective_parallelism(threads);
+    encode_stripes_pooled(&compiled.program, stripes, minipool::global(), threads);
+    Ok(())
 }
 
 /// [`encode_stripes_arena`] with the calling thread's thread-local arena —
@@ -277,6 +302,7 @@ pub fn payload_of(layout: &CodeLayout, stripes: &[Stripe], payload_len: usize) -
 mod tests {
     use super::*;
     use crate::encode::verify_parities;
+    use dcode_baselines::registry::all_codes;
     use dcode_core::dcode::dcode;
 
     fn payload(len: usize) -> Vec<u8> {
@@ -438,6 +464,48 @@ mod tests {
         }));
         assert!(caught.is_err(), "placeholder replay must panic");
         assert_eq!(&stripes[..3], &expect[..], "healthy stripes lost");
+    }
+
+    #[test]
+    fn recover_stripes_matches_per_stripe_recovery() {
+        use crate::decode::recover_columns;
+
+        for p in [5usize, 7] {
+            for layout in all_codes(p) {
+                let cols = [0usize, 2];
+                if dcode_core::decoder::plan_column_recovery(&layout, &cols).is_err() {
+                    continue;
+                }
+                let per = layout.data_len() * 8;
+                let data = payload(per * 6);
+                let mut stripes: Vec<Stripe> = data
+                    .chunks(per)
+                    .map(|c| Stripe::from_data(&layout, 8, c))
+                    .collect();
+                encode_stripes(&layout, &mut stripes, 1);
+                let golden = stripes.clone();
+                // Per-stripe oracle.
+                let mut expect = stripes.clone();
+                for s in &mut expect {
+                    s.erase_columns(&cols);
+                    recover_columns(&layout, s, &cols).unwrap();
+                }
+                // Fused batch recovery.
+                for s in &mut stripes {
+                    s.erase_columns(&cols);
+                }
+                recover_stripes(&layout, &cols, &mut stripes, 4).unwrap();
+                assert_eq!(stripes, expect, "{} p={p}", layout.name());
+                assert_eq!(stripes, golden, "{} p={p} full roundtrip", layout.name());
+            }
+        }
+    }
+
+    #[test]
+    fn recover_stripes_rejects_unrecoverable_erasures() {
+        let layout = dcode(5).unwrap();
+        let mut stripes = vec![Stripe::zeroed(&layout, 8)];
+        assert!(recover_stripes(&layout, &[0, 1, 2], &mut stripes, 2).is_err());
     }
 
     #[test]

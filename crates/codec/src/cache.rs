@@ -30,8 +30,23 @@
 //! `debug_assertions` hazard check at compile time — caching reuses the
 //! checked artifact, it does not bypass the check — and `dcode-verify`
 //! proves cached programs equivalent to their generator matrices in CI.
+//!
+//! Every program the cache emits flows through the verified optimizer
+//! pipeline ([`crate::opt`]) on its compile miss and carries the
+//! resulting [`OptCertificate`] — the machine-checkable proof that the
+//! shipped program is GF(2)-equivalent to the direct compile and no cost
+//! metric regressed (delta 0 for the registry codes, which are already
+//! at the paper's closed-form optimum). Cache keys include the
+//! pipeline's [`OptConfig::fingerprint`], so changing the pass pipeline
+//! via [`ScheduleCache::set_pipeline`] invalidates memoized programs:
+//! stale entries are not evicted, they simply stop matching — switching
+//! back to a previous pipeline re-hits its old entries. The pipeline
+//! config lives behind its own named mutex (`codec.cache.optcfg`) that
+//! is released before `entries`/`fused` are taken, so the lock-order
+//! discipline model-checked by `dcode-race` is unchanged.
 
 use crate::fused::FusedProgram;
+use crate::opt::{optimize, OptCertificate, OptConfig};
 use crate::schedule::XorProgram;
 use dcode_core::decoder::{plan_recovery, RecoveryPlan, Unrecoverable};
 use dcode_core::grid::{Cell, Grid};
@@ -80,6 +95,9 @@ pub struct CompiledRecovery {
     /// Surviving cells the program reads, ascending. Equals
     /// `plan.surviving_reads()` without the per-call `BTreeSet`.
     pub reads: Arc<Vec<Cell>>,
+    /// Cost-delta certificate from the optimizer pipeline run on the
+    /// compile miss that produced `program`.
+    pub certificate: Arc<OptCertificate>,
 }
 
 /// One cached missing-cell subprogram under an erasure pattern.
@@ -100,11 +118,14 @@ struct ErasureEntry {
     subs: Vec<SubEntry>,
 }
 
-/// Everything cached for one layout.
+/// Everything cached for one layout under one optimizer pipeline.
 struct LayoutEntry {
     fingerprint: u64,
     grid: Grid,
-    encode: Option<Arc<XorProgram>>,
+    /// [`OptConfig::fingerprint`] of the pipeline the entry's programs
+    /// went through — part of the key, so a pipeline change invalidates.
+    opt_fp: u64,
+    encode: Option<(Arc<XorProgram>, Arc<OptCertificate>)>,
     erasures: Vec<ErasureEntry>,
 }
 
@@ -114,8 +135,10 @@ struct LayoutEntry {
 struct FusedEntry {
     fingerprint: u64,
     grid: Grid,
+    opt_fp: u64,
     batch: usize,
     program: Arc<FusedProgram>,
+    certificate: Arc<OptCertificate>,
 }
 
 /// Memoized compiled schedules; see the module docs. Cheap to construct —
@@ -127,11 +150,16 @@ struct FusedEntry {
 /// compile-outside-lock race-adopt protocol on the same code.
 pub struct ScheduleCache {
     entries: Mutex<Vec<LayoutEntry>>,
-    /// Fused batch programs, keyed by `(program fingerprint, grid, batch)`.
-    /// A separate short vector (and lock) from `entries`: the key space is
-    /// program identity, not layout identity, and the bulk path should
-    /// never contend with recovery-plan lookups.
+    /// Fused batch programs, keyed by `(program fingerprint, grid,
+    /// pipeline fingerprint, batch)`. A separate short vector (and lock)
+    /// from `entries`: the key space is program identity, not layout
+    /// identity, and the bulk path should never contend with
+    /// recovery-plan lookups.
     fused: Mutex<Vec<FusedEntry>>,
+    /// The optimizer pipeline every compile miss runs. Read (and the
+    /// guard dropped) *before* `entries`/`fused` are locked — the three
+    /// locks never nest, keeping the race-checked lock discipline flat.
+    opt: Mutex<Arc<OptConfig>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -148,8 +176,29 @@ impl ScheduleCache {
         ScheduleCache {
             entries: Mutex::named("codec.cache.entries", Vec::new()),
             fused: Mutex::named("codec.cache.fused", Vec::new()),
+            opt: Mutex::named("codec.cache.optcfg", Arc::new(OptConfig::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The optimizer pipeline currently applied to compile misses.
+    pub fn pipeline(&self) -> Arc<OptConfig> {
+        match self.opt.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Replace the optimizer pipeline. Memoized programs are keyed by the
+    /// pipeline fingerprint, so entries compiled under a different
+    /// pipeline stop matching (they are not evicted: switching back to a
+    /// previous pipeline re-hits its old entries).
+    pub fn set_pipeline(&self, config: OptConfig) {
+        let config = Arc::new(config);
+        match self.opt.lock() {
+            Ok(mut g) => *g = config,
+            Err(poisoned) => *poisoned.into_inner() = config,
         }
     }
 
@@ -170,23 +219,37 @@ impl ScheduleCache {
         });
     }
 
-    /// The compiled full-stripe encode program for `layout`. First call per
-    /// layout compiles; every later call returns the same `Arc` (verify
-    /// with [`Arc::ptr_eq`]).
+    /// The compiled (and certified-optimized) full-stripe encode program
+    /// for `layout`. First call per layout compiles; every later call
+    /// returns the same `Arc` (verify with [`Arc::ptr_eq`]).
     pub fn encode_program(&self, layout: &CodeLayout) -> Arc<XorProgram> {
+        self.encode_program_certified(layout).0
+    }
+
+    /// [`ScheduleCache::encode_program`] together with its cost-delta
+    /// certificate.
+    pub fn encode_program_certified(
+        &self,
+        layout: &CodeLayout,
+    ) -> (Arc<XorProgram>, Arc<OptCertificate>) {
+        let config = self.pipeline();
+        let opt_fp = config.fingerprint();
         let (fp, grid) = (layout.fingerprint(), layout.grid());
         {
             let entries = self.lock();
-            if let Some(prog) = find_layout(&entries, fp, grid).and_then(|e| e.encode.clone()) {
+            if let Some(pair) =
+                find_layout(&entries, fp, grid, opt_fp).and_then(|e| e.encode.clone())
+            {
                 Self::bump(&self.hits);
-                return prog;
+                return pair;
             }
         }
         Self::bump(&self.misses);
-        let compiled = Arc::new(XorProgram::compile_encode(layout));
+        let optimized = optimize(&XorProgram::compile_encode(layout), None, &config);
+        let pair = (Arc::new(optimized.program), Arc::new(optimized.certificate));
         let mut entries = self.lock();
-        let entry = find_or_insert_layout(&mut entries, fp, grid);
-        entry.encode.get_or_insert(compiled).clone()
+        let entry = find_or_insert_layout(&mut entries, fp, grid, opt_fp);
+        entry.encode.get_or_insert(pair).clone()
     }
 
     /// The full column-recovery plan for erasing `cols` (ascending) of
@@ -196,32 +259,37 @@ impl ScheduleCache {
         layout: &CodeLayout,
         cols: &[usize],
     ) -> Result<Arc<RecoveryPlan>, Unrecoverable> {
-        self.erasure_plan(layout, cols.iter().copied())
+        let opt_fp = self.pipeline().fingerprint();
+        self.erasure_plan(layout, cols.iter().copied(), opt_fp)
     }
 
     /// The compiled full column-recovery program for erasing `cols`
-    /// (ascending) of `layout`, with its plan and read footprint.
+    /// (ascending) of `layout`, with its plan, read footprint, and
+    /// cost-delta certificate. All erased cells are outputs, so the
+    /// optimizer must certify delta 0 here for registry codes.
     pub fn column_program(
         &self,
         layout: &CodeLayout,
         cols: &[usize],
     ) -> Result<CompiledRecovery, Unrecoverable> {
+        let config = self.pipeline();
+        let opt_fp = config.fingerprint();
         let (fp, grid) = (layout.fingerprint(), layout.grid());
         let cols_iter = cols.iter().copied();
         {
             let entries = self.lock();
-            if let Some(compiled) =
-                find_erasure(&entries, fp, grid, cols_iter.clone()).and_then(|e| e.full.clone())
+            if let Some(compiled) = find_erasure(&entries, fp, grid, opt_fp, cols_iter.clone())
+                .and_then(|e| e.full.clone())
             {
                 Self::bump(&self.hits);
                 return Ok(compiled);
             }
         }
-        let plan = self.erasure_plan(layout, cols_iter.clone())?;
+        let plan = self.erasure_plan(layout, cols_iter.clone(), opt_fp)?;
         Self::bump(&self.misses);
-        let compiled = compile_recovery(grid, &plan);
+        let compiled = compile_recovery(grid, &plan, None, &config);
         let mut entries = self.lock();
-        let entry = find_erasure_mut(&mut entries, fp, grid, cols_iter)
+        let entry = find_erasure_mut(&mut entries, fp, grid, opt_fp, cols_iter)
             .expect("erasure_plan inserted the entry");
         Ok(entry.full.get_or_insert(compiled).clone())
     }
@@ -240,10 +308,12 @@ impl ScheduleCache {
     where
         I: Iterator<Item = usize> + Clone,
     {
+        let config = self.pipeline();
+        let opt_fp = config.fingerprint();
         let (fp, grid) = (layout.fingerprint(), layout.grid());
         {
             let entries = self.lock();
-            if let Some(entry) = find_erasure(&entries, fp, grid, erased_cols.clone()) {
+            if let Some(entry) = find_erasure(&entries, fp, grid, opt_fp, erased_cols.clone()) {
                 if let Some(sub) = entry
                     .subs
                     .iter()
@@ -254,11 +324,20 @@ impl ScheduleCache {
                 }
             }
         }
-        let plan = self.erasure_plan(layout, erased_cols.clone())?;
+        let plan = self.erasure_plan(layout, erased_cols.clone(), opt_fp)?;
         Self::bump(&self.misses);
-        let compiled = compile_recovery(grid, &Arc::new(plan.subplan_for(missing)));
+        // Only the wanted cells are observable outputs of a subprogram:
+        // the remaining recovered intermediates are scratch the optimizer
+        // may renumber or eliminate.
+        let outputs: BTreeSet<usize> = missing.iter().map(|&c| grid.index(c)).collect();
+        let compiled = compile_recovery(
+            grid,
+            &Arc::new(plan.subplan_for(missing)),
+            Some(&outputs),
+            &config,
+        );
         let mut entries = self.lock();
-        let entry = find_erasure_mut(&mut entries, fp, grid, erased_cols)
+        let entry = find_erasure_mut(&mut entries, fp, grid, opt_fp, erased_cols)
             .expect("erasure_plan inserted the entry");
         if let Some(sub) = entry
             .subs
@@ -282,6 +361,7 @@ impl ScheduleCache {
         &self,
         layout: &CodeLayout,
         cols: I,
+        opt_fp: u64,
     ) -> Result<Arc<RecoveryPlan>, Unrecoverable>
     where
         I: Iterator<Item = usize> + Clone,
@@ -289,7 +369,7 @@ impl ScheduleCache {
         let (fp, grid) = (layout.fingerprint(), layout.grid());
         {
             let entries = self.lock();
-            if let Some(entry) = find_erasure(&entries, fp, grid, cols.clone()) {
+            if let Some(entry) = find_erasure(&entries, fp, grid, opt_fp, cols.clone()) {
                 return Ok(entry.plan.clone());
             }
         }
@@ -301,7 +381,7 @@ impl ScheduleCache {
         let erased: BTreeSet<Cell> = col_vec.iter().flat_map(|&c| grid.column(c)).collect();
         let plan = Arc::new(plan_recovery(layout, &erased)?);
         let mut entries = self.lock();
-        let entry = find_or_insert_layout(&mut entries, fp, grid);
+        let entry = find_or_insert_layout(&mut entries, fp, grid, opt_fp);
         if let Some(existing) = entry
             .erasures
             .iter()
@@ -327,33 +407,50 @@ impl ScheduleCache {
     /// [`MAX_FUSED_SHAPES_PER_PROGRAM`] distinct batch sizes per program,
     /// the fusion is returned uncached.
     pub fn fused_program(&self, single: &Arc<XorProgram>, batch: usize) -> Arc<FusedProgram> {
+        self.fused_program_certified(single, batch).0
+    }
+
+    /// [`ScheduleCache::fused_program`] together with its certificate:
+    /// `before` is the single-stripe cost × batch, `after` the fused
+    /// measurement, and equivalence is discharged structurally (the
+    /// fusion must be exactly `batch` shifted copies of `single`).
+    pub fn fused_program_certified(
+        &self,
+        single: &Arc<XorProgram>,
+        batch: usize,
+    ) -> (Arc<FusedProgram>, Arc<OptCertificate>) {
+        let opt_fp = self.pipeline().fingerprint();
         let (fp, grid) = (single.fingerprint(), single.grid());
         {
             let entries = self.lock_fused();
-            if let Some(e) = find_fused(&entries, fp, grid, batch) {
+            if let Some(e) = find_fused(&entries, fp, grid, opt_fp, batch) {
                 Self::bump(&self.hits);
-                return e.program.clone();
+                return (e.program.clone(), e.certificate.clone());
             }
         }
         Self::bump(&self.misses);
-        let compiled = Arc::new(FusedProgram::fuse(single, batch));
+        let fused = FusedProgram::fuse(single, batch);
+        let certificate = Arc::new(OptCertificate::for_fusion(single, &fused, opt_fp));
+        let compiled = Arc::new(fused);
         let mut entries = self.lock_fused();
-        if let Some(e) = find_fused(&entries, fp, grid, batch) {
-            return e.program.clone(); // lost an insert race; adopt
+        if let Some(e) = find_fused(&entries, fp, grid, opt_fp, batch) {
+            return (e.program.clone(), e.certificate.clone()); // lost an insert race; adopt
         }
         let shapes = entries
             .iter()
-            .filter(|e| e.fingerprint == fp && e.grid == grid)
+            .filter(|e| e.fingerprint == fp && e.grid == grid && e.opt_fp == opt_fp)
             .count();
         if shapes < MAX_FUSED_SHAPES_PER_PROGRAM {
             entries.push(FusedEntry {
                 fingerprint: fp,
                 grid,
+                opt_fp,
                 batch,
                 program: compiled.clone(),
+                certificate: certificate.clone(),
             });
         }
-        compiled
+        (compiled, certificate)
     }
 
     /// Convenience: the fused form of `layout`'s encode program for a
@@ -398,39 +495,57 @@ pub fn schedule_stats() -> CacheStats {
     global().stats()
 }
 
-fn find_fused(entries: &[FusedEntry], fp: u64, grid: Grid, batch: usize) -> Option<&FusedEntry> {
+fn find_fused(
+    entries: &[FusedEntry],
+    fp: u64,
+    grid: Grid,
+    opt_fp: u64,
+    batch: usize,
+) -> Option<&FusedEntry> {
     entries
         .iter()
-        .find(|e| e.fingerprint == fp && e.grid == grid && e.batch == batch)
+        .find(|e| e.fingerprint == fp && e.grid == grid && e.opt_fp == opt_fp && e.batch == batch)
 }
 
-fn find_layout(entries: &[LayoutEntry], fp: u64, grid: Grid) -> Option<&LayoutEntry> {
+fn find_layout(entries: &[LayoutEntry], fp: u64, grid: Grid, opt_fp: u64) -> Option<&LayoutEntry> {
     entries
         .iter()
-        .find(|e| e.fingerprint == fp && e.grid == grid)
+        .find(|e| e.fingerprint == fp && e.grid == grid && e.opt_fp == opt_fp)
 }
 
-fn find_or_insert_layout(entries: &mut Vec<LayoutEntry>, fp: u64, grid: Grid) -> &mut LayoutEntry {
+fn find_or_insert_layout(
+    entries: &mut Vec<LayoutEntry>,
+    fp: u64,
+    grid: Grid,
+    opt_fp: u64,
+) -> &mut LayoutEntry {
     if let Some(i) = entries
         .iter()
-        .position(|e| e.fingerprint == fp && e.grid == grid)
+        .position(|e| e.fingerprint == fp && e.grid == grid && e.opt_fp == opt_fp)
     {
         return &mut entries[i];
     }
     entries.push(LayoutEntry {
         fingerprint: fp,
         grid,
+        opt_fp,
         encode: None,
         erasures: Vec::new(),
     });
     entries.last_mut().expect("just pushed")
 }
 
-fn find_erasure<I>(entries: &[LayoutEntry], fp: u64, grid: Grid, cols: I) -> Option<&ErasureEntry>
+fn find_erasure<I>(
+    entries: &[LayoutEntry],
+    fp: u64,
+    grid: Grid,
+    opt_fp: u64,
+    cols: I,
+) -> Option<&ErasureEntry>
 where
     I: Iterator<Item = usize> + Clone,
 {
-    find_layout(entries, fp, grid)?
+    find_layout(entries, fp, grid, opt_fp)?
         .erasures
         .iter()
         .find(|e| e.cols.iter().copied().eq(cols.clone()))
@@ -440,6 +555,7 @@ fn find_erasure_mut<I>(
     entries: &mut [LayoutEntry],
     fp: u64,
     grid: Grid,
+    opt_fp: u64,
     cols: I,
 ) -> Option<&mut ErasureEntry>
 where
@@ -447,20 +563,28 @@ where
 {
     entries
         .iter_mut()
-        .find(|e| e.fingerprint == fp && e.grid == grid)?
+        .find(|e| e.fingerprint == fp && e.grid == grid && e.opt_fp == opt_fp)?
         .erasures
         .iter_mut()
         .find(|e| e.cols.iter().copied().eq(cols.clone()))
 }
 
-/// Lower a plan and precompute its sorted surviving-read list.
-fn compile_recovery(grid: Grid, plan: &Arc<RecoveryPlan>) -> CompiledRecovery {
-    let program = Arc::new(XorProgram::compile_plan(grid, plan));
+/// Lower a plan through the optimizer pipeline and precompute its sorted
+/// surviving-read list. `outputs` designates the observable blocks
+/// (`None` = every target, the right choice for full column recoveries).
+fn compile_recovery(
+    grid: Grid,
+    plan: &Arc<RecoveryPlan>,
+    outputs: Option<&BTreeSet<usize>>,
+    config: &OptConfig,
+) -> CompiledRecovery {
+    let optimized = optimize(&XorProgram::compile_plan(grid, plan), outputs, config);
     let reads: Vec<Cell> = plan.surviving_reads().into_iter().collect();
     CompiledRecovery {
-        program,
+        program: Arc::new(optimized.program),
         plan: plan.clone(),
         reads: Arc::new(reads),
+        certificate: Arc::new(optimized.certificate),
     }
 }
 
@@ -620,7 +744,7 @@ mod tests {
         let b = cache.fused_encode_program(&layout, 4);
         assert!(Arc::ptr_eq(&a, &b), "second lookup must not re-fuse");
         assert!(cache.stats().hits >= hits_before + 2); // single + fused hit
-        // A different batch shape is a different program...
+                                                        // A different batch shape is a different program...
         let c = cache.fused_encode_program(&layout, 8);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.batch(), 8);
@@ -655,5 +779,107 @@ mod tests {
         let a = global().encode_program(&dcode(5).unwrap());
         let b = global().encode_program(&dcode(5).unwrap());
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn every_cache_artifact_carries_a_holding_certificate() {
+        let cache = ScheduleCache::new();
+        for layout in all_codes(7) {
+            let (_, cert) = cache.encode_program_certified(&layout);
+            assert!(cert.holds(), "{} encode", layout.name());
+            assert!(
+                cert.zero_delta(),
+                "{} encode must be delta 0",
+                layout.name()
+            );
+            let full = cache.column_program(&layout, &[0, 1]).unwrap();
+            assert!(full.certificate.holds(), "{} recovery", layout.name());
+            assert!(
+                full.certificate.zero_delta(),
+                "{} recovery must be delta 0",
+                layout.name()
+            );
+            let missing: BTreeSet<Cell> = [layout.grid().column(0).next().unwrap()]
+                .into_iter()
+                .collect();
+            let sub = cache
+                .recovery_subprogram(&layout, [0usize, 1].iter().copied(), &missing)
+                .unwrap();
+            assert!(sub.certificate.holds(), "{} subprogram", layout.name());
+            let single = cache.encode_program(&layout);
+            let (_, fused_cert) = cache.fused_program_certified(&single, 4);
+            assert!(fused_cert.holds(), "{} fused", layout.name());
+            assert!(
+                fused_cert.zero_delta(),
+                "{} fused must be delta 0",
+                layout.name()
+            );
+            assert_eq!(fused_cert.batch, 4);
+        }
+    }
+
+    #[test]
+    fn pipeline_change_invalidates_and_switching_back_rehits() {
+        let cache = ScheduleCache::new();
+        let layout = dcode(7).unwrap();
+        let default_fp = cache.pipeline().fingerprint();
+        let (a, cert_a) = cache.encode_program_certified(&layout);
+        assert_eq!(cert_a.pipeline_fingerprint, default_fp);
+        let full_a = cache.column_program(&layout, &[0, 1]).unwrap();
+
+        // A different pipeline is a different key: both lookups recompile.
+        cache.set_pipeline(OptConfig::empty());
+        let empty_fp = cache.pipeline().fingerprint();
+        assert_ne!(default_fp, empty_fp);
+        let (b, cert_b) = cache.encode_program_certified(&layout);
+        assert!(!Arc::ptr_eq(&a, &b), "pipeline change must recompile");
+        assert_eq!(cert_b.pipeline_fingerprint, empty_fp);
+        assert!(
+            cert_b.holds(),
+            "empty pipeline is a trivially-held identity"
+        );
+        let full_b = cache.column_program(&layout, &[0, 1]).unwrap();
+        assert!(!Arc::ptr_eq(&full_a.program, &full_b.program));
+
+        // Stale entries are not evicted: switching back re-hits them.
+        cache.set_pipeline(OptConfig::full());
+        let (c, cert_c) = cache.encode_program_certified(&layout);
+        assert!(Arc::ptr_eq(&a, &c), "old pipeline entries must survive");
+        assert_eq!(cert_c.pipeline_fingerprint, default_fp);
+        let full_c = cache.column_program(&layout, &[0, 1]).unwrap();
+        assert!(Arc::ptr_eq(&full_a.program, &full_c.program));
+    }
+
+    #[test]
+    fn subprogram_outputs_free_intermediates_for_the_optimizer() {
+        // A single wanted cell under a two-column erasure leaves every
+        // other recovered cell as scratch; the certificate must still
+        // hold (≤ on every metric) and the subprogram must reproduce the
+        // wanted bytes exactly.
+        let cache = ScheduleCache::new();
+        for layout in all_codes(11) {
+            let grid = layout.grid();
+            let missing: BTreeSet<Cell> = [grid.column(0).nth(2).unwrap()].into_iter().collect();
+            let sub = cache
+                .recovery_subprogram(&layout, [0usize, 1].iter().copied(), &missing)
+                .unwrap();
+            assert!(sub.certificate.holds(), "{}", layout.name());
+            let data: Vec<u8> = (0..layout.data_len() * 8)
+                .map(|i| (i * 131) as u8)
+                .collect();
+            let mut stripe = Stripe::from_data(&layout, 8, &data);
+            encode_naive(&layout, &mut stripe);
+            let golden = stripe.clone();
+            stripe.erase_columns(&[0, 1]);
+            sub.program.run(&mut stripe);
+            for &cell in &missing {
+                assert_eq!(
+                    stripe.snapshot(cell),
+                    golden.snapshot(cell),
+                    "{}",
+                    layout.name()
+                );
+            }
+        }
     }
 }

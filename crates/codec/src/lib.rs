@@ -56,6 +56,7 @@ pub mod decode;
 pub mod encode;
 pub mod fused;
 pub mod gf256;
+pub mod opt;
 pub mod rs;
 pub mod schedule;
 pub mod stripe;
@@ -66,13 +67,14 @@ pub mod xor;
 pub use bitmatrix::{encode_with_matrix, generator_matrix, BitMatrix};
 pub use bulk::{
     encode_payload, encode_stripes, encode_stripes_arena, encode_stripes_pooled, payload_of,
-    EncodeArena,
+    recover_stripes, EncodeArena,
 };
 pub use cache::{schedule_stats, CacheStats, CompiledRecovery, ScheduleCache};
-pub use fused::FusedProgram;
-pub use tile::fused_tile_bytes;
 pub use decode::{apply_plan, apply_plan_naive, recover_columns};
 pub use encode::{encode, encode_naive, encode_parallel, verify_parities};
+pub use fused::FusedProgram;
+pub use opt::{optimize, CostSummary, OptCertificate, OptConfig, OptPass, Optimized, PassRun};
 pub use schedule::XorProgram;
 pub use stripe::Stripe;
+pub use tile::fused_tile_bytes;
 pub use update::{reconstruct_write_ios, write_logical, write_logical_reconstruct, WriteReceipt};

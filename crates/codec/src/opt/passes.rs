@@ -1,0 +1,421 @@
+//! The optimizer's rewrite passes.
+//!
+//! Each pass maps a program to `Some(rewritten)` when it changed anything
+//! and `None` when the input was already in normal form, so the driver in
+//! [`super::optimize`] can record per-pass `changed` bits and return the
+//! original program untouched (fingerprint and all) when the whole
+//! pipeline is the identity — which it must be for every registry code,
+//! since those schedules are already at the paper's closed-form optimum.
+//!
+//! Soundness obligations (each pass's comment sketches the argument; the
+//! pipeline then *checks* the result against the original over a fully
+//! generic initial state, so a bug here becomes a failed certificate, not
+//! silent corruption):
+//!
+//! * the XOR executed for every *output* block is unchanged as a GF(2)
+//!   combination of initial block contents;
+//! * the rewritten program stays hazard-free: within a level no op reads
+//!   or writes another same-level op's target, and no op reads its own
+//!   target.
+
+use super::dataflow::{live_ops, Def, DefUse};
+use crate::schedule::XorProgram;
+use dcode_core::grid::Grid;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A program exploded into one record per op, the working form shared by
+/// all passes: `(target, sources, level)` in original op order.
+type OpList = Vec<(u32, Vec<u32>, usize)>;
+
+fn op_list(program: &XorProgram) -> OpList {
+    let mut ops = Vec::with_capacity(program.op_count());
+    for lv in 0..program.level_count() {
+        for op in program.level_ops(lv) {
+            ops.push((
+                program.op_target(op) as u32,
+                program.op_sources(op).to_vec(),
+                lv,
+            ));
+        }
+    }
+    ops
+}
+
+/// Reassemble an op list into a program: stable-sort by level (preserving
+/// in-level op order), compress away empty levels, and rebuild the flat
+/// arrays. Levels only need to be monotone per dependency — gaps left by
+/// deleted or hoisted ops disappear here.
+fn rebuild(grid: Grid, ops: OpList) -> XorProgram {
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_by_key(|&i| ops[i].2);
+    let mut targets = Vec::with_capacity(ops.len());
+    let mut src_off = vec![0u32];
+    let mut sources = Vec::new();
+    let mut level_off = vec![0u32];
+    let mut cur_level = None;
+    for &i in &order {
+        let (target, srcs, level) = &ops[i];
+        if let Some(prev) = cur_level {
+            if *level != prev {
+                level_off.push(targets.len() as u32);
+            }
+        }
+        cur_level = Some(*level);
+        targets.push(*target);
+        sources.extend_from_slice(srcs);
+        src_off.push(sources.len() as u32);
+    }
+    level_off.push(targets.len() as u32);
+    let prog = XorProgram::from_raw_parts(grid, targets, src_off, sources, level_off);
+    #[cfg(debug_assertions)]
+    prog.debug_assert_hazard_free();
+    prog
+}
+
+/// Dead-op elimination: drop every op whose result cannot flow into an
+/// output block. Sound because ops overwrite their target (the previous
+/// value never contributes), so a write that is shadowed before being
+/// read, or never read at all, is unobservable through `outputs`.
+/// Removing ops from levels cannot introduce hazards.
+pub(crate) fn dead_op_elim(program: &XorProgram, outputs: &BTreeSet<u32>) -> Option<XorProgram> {
+    let keep = live_ops(program, outputs);
+    if keep.iter().all(|&k| k) {
+        return None;
+    }
+    let ops = op_list(program)
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(op, k)| k.then_some(op))
+        .collect();
+    Some(rebuild(program.grid(), ops))
+}
+
+/// XOR common-subexpression factoring over source sets. A forward walk
+/// keeps an availability map from canonical (sorted) source set to the
+/// block currently holding that expression's value; entries are
+/// invalidated exactly as the analyzer's duplicate-expression lint does —
+/// when the holding block or any operand block is overwritten. On a hit:
+///
+/// * same target → the op recomputes a value its target already holds
+///   (a clone); delete it. No invalidation is needed for the deleted op
+///   since the target's value is unchanged.
+/// * different target in a strictly earlier level → rewrite the op into a
+///   1-source copy of the holding block, trading `len-1` XORs for a move.
+///   Same-level producers are skipped: reading them would create a
+///   same-level read-after-write hazard.
+pub(crate) fn common_subexpression(program: &XorProgram) -> Option<XorProgram> {
+    let mut ops = op_list(program);
+    let mut avail: BTreeMap<Vec<u32>, (u32, usize)> = BTreeMap::new();
+    let mut keep = vec![true; ops.len()];
+    let mut changed = false;
+    for i in 0..ops.len() {
+        let mut key = ops[i].1.clone();
+        key.sort_unstable();
+        let hit = if key.len() >= 2 {
+            avail.get(&key).copied()
+        } else {
+            None
+        };
+        if let Some((holder, holder_level)) = hit {
+            if holder == ops[i].0 {
+                keep[i] = false;
+                changed = true;
+                continue;
+            } else if holder_level < ops[i].2 {
+                ops[i].1 = vec![holder];
+                changed = true;
+            }
+        }
+        let target = ops[i].0;
+        let level = ops[i].2;
+        avail.retain(|k, &mut (holder, _)| holder != target && !k.contains(&target));
+        // Keep the earliest holder when the expression is already
+        // available: it can serve strictly more later ops as a copy
+        // source, and it is what lets a clone of the original be deleted.
+        avail.entry(key).or_insert((target, level));
+    }
+    if !changed {
+        return None;
+    }
+    let ops = ops
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(op, k)| k.then_some(op))
+        .collect();
+    Some(rebuild(program.grid(), ops))
+}
+
+/// Level repacking: place every op in the earliest level that respects
+/// its dependencies, merging underfull levels and cutting barriers. The
+/// earliest legal level for an op is one past the latest of: the levels
+/// producing its sources (read-after-write), the level that last wrote
+/// its target (write-after-write), and the level that last *read* its
+/// target (write-after-read) — all measured in the *new* level numbering,
+/// built in one forward walk over original op order (which is a valid
+/// sequential schedule, so every dependency points backwards).
+pub(crate) fn level_repack(program: &XorProgram) -> Option<XorProgram> {
+    let mut ops = op_list(program);
+    let mut def_level: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut read_level: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut changed = false;
+    for (target, sources, level) in &mut ops {
+        let mut earliest = 0usize;
+        for s in sources.iter() {
+            if let Some(&l) = def_level.get(s) {
+                earliest = earliest.max(l + 1);
+            }
+        }
+        if let Some(&l) = def_level.get(target) {
+            earliest = earliest.max(l + 1);
+        }
+        if let Some(&l) = read_level.get(target) {
+            earliest = earliest.max(l + 1);
+        }
+        if earliest != *level {
+            *level = earliest;
+            changed = true;
+        }
+        def_level.insert(*target, earliest);
+        for &s in sources.iter() {
+            let slot = read_level.entry(s).or_insert(earliest);
+            *slot = (*slot).max(earliest);
+        }
+    }
+    if !changed {
+        return None;
+    }
+    Some(rebuild(program.grid(), ops))
+}
+
+/// Scratch-slot liveness coloring: renumber scratch blocks (written,
+/// not an output, initial contents never read) down to the minimal slot
+/// count by interval coloring over levels. Each def of a scratch block is
+/// a *value* live from its def level through the last level that reads
+/// it; two values may share a host block only when their level intervals
+/// are strictly separated (host free iff `busy_until < def_level`),
+/// which preserves hazard-freedom: the new def sits in a level strictly
+/// after every read of the previous tenant.
+///
+/// Greedy first-fit over values sorted by def level needs at most as many
+/// hosts as the original program used: when it opens host `k+1` at def
+/// level `d`, all `k` existing hosts are busy through `d`, so `k+1`
+/// values are simultaneously live at `d` — and in the (hazard-free)
+/// original those values occupied `k+1` distinct scratch blocks. The
+/// bail-out below therefore only triggers on malformed input.
+pub(crate) fn scratch_coloring(
+    program: &XorProgram,
+    outputs: &BTreeSet<u32>,
+) -> Option<XorProgram> {
+    let df = DefUse::analyze(program);
+    let n = program.op_count();
+    let defined: BTreeSet<u32> = (0..n).map(|op| program.op_target(op) as u32).collect();
+    let pool: Vec<u32> = defined
+        .iter()
+        .copied()
+        .filter(|&b| !outputs.contains(&b) && !df.initial_is_read(b))
+        .collect();
+    if pool.is_empty() {
+        return None;
+    }
+    let pool_set: BTreeSet<u32> = pool.iter().copied().collect();
+
+    // Each op defining a pool block is a value; its interval runs from its
+    // def level to the last level that consumes it.
+    let mut last_use: Vec<usize> = (0..n).map(|op| df.level_of(op)).collect();
+    for (op, last) in last_use.iter_mut().enumerate() {
+        for &user in df.users(op) {
+            *last = (*last).max(df.level_of(user));
+        }
+    }
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&op| pool_set.contains(&(program.op_target(op) as u32)))
+        .collect();
+    order.sort_by_key(|&op| (df.level_of(op), op));
+
+    // hosts[k] = (block, last level through which its current tenant lives)
+    let mut hosts: Vec<(u32, usize)> = Vec::new();
+    let mut host_of: BTreeMap<usize, u32> = BTreeMap::new();
+    for &value in &order {
+        let def_level = df.level_of(value);
+        match hosts.iter_mut().find(|h| h.1 < def_level) {
+            Some(host) => {
+                host.1 = last_use[value];
+                host_of.insert(value, host.0);
+            }
+            None => {
+                let Some(&block) = pool.get(hosts.len()) else {
+                    // More simultaneously-live values than original scratch
+                    // blocks — impossible for hazard-free input; refuse to
+                    // color rather than fabricate a block.
+                    return None;
+                };
+                hosts.push((block, last_use[value]));
+                host_of.insert(value, block);
+            }
+        }
+    }
+
+    // Rewrite via reaching defs: every operand whose producer got a host
+    // reads the host; every recolored def writes its host.
+    let mut ops = op_list(program);
+    let mut changed = false;
+    for (op, (target, sources, _level)) in ops.iter_mut().enumerate() {
+        for (slot, source) in sources.iter_mut().enumerate() {
+            if let Def::Op(producer) = df.reaching(op)[slot] {
+                if let Some(&host) = host_of.get(&producer) {
+                    if *source != host {
+                        *source = host;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if let Some(&host) = host_of.get(&op) {
+            if *target != host {
+                *target = host;
+                changed = true;
+            }
+        }
+    }
+    if !changed {
+        return None;
+    }
+    Some(rebuild(program.grid(), ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(targets: Vec<u32>, srcs: Vec<Vec<u32>>, level_off: Vec<u32>) -> XorProgram {
+        let mut src_off = vec![0u32];
+        let mut sources = Vec::new();
+        for s in srcs {
+            sources.extend_from_slice(&s);
+            src_off.push(sources.len() as u32);
+        }
+        XorProgram::from_raw_parts(Grid::new(4, 4), targets, src_off, sources, level_off)
+    }
+
+    fn ops_of(p: &XorProgram) -> OpList {
+        op_list(p)
+    }
+
+    #[test]
+    fn dead_op_elim_drops_shadowed_and_unread_writes() {
+        let p = toy(
+            vec![5, 5, 12, 6],
+            vec![vec![0, 1], vec![2, 3], vec![5, 0], vec![1, 2]],
+            vec![0, 1, 2, 4],
+        );
+        let out = dead_op_elim(&p, &BTreeSet::from([12])).expect("dead ops present");
+        assert_eq!(ops_of(&out), vec![(5, vec![2, 3], 0), (12, vec![5, 0], 1)],);
+        assert!(dead_op_elim(&out, &BTreeSet::from([12])).is_none());
+    }
+
+    #[test]
+    fn cse_rewrites_later_duplicate_to_copy_and_deletes_clones() {
+        // op1 recomputes op0's expression into a different block → copy;
+        // op2 recomputes it into the *same* block as op0 → deleted.
+        let p = toy(
+            vec![12, 13, 12],
+            vec![vec![0, 1], vec![1, 0], vec![0, 1]],
+            vec![0, 1, 2, 3],
+        );
+        let out = common_subexpression(&p).expect("duplicates present");
+        assert_eq!(ops_of(&out), vec![(12, vec![0, 1], 0), (13, vec![12], 1)]);
+        assert!(common_subexpression(&out).is_none());
+    }
+
+    #[test]
+    fn cse_respects_operand_invalidation() {
+        // b1 is overwritten between the two computations of b0^b1, so the
+        // second is NOT a duplicate and must survive untouched.
+        let p = toy(
+            vec![12, 1, 13],
+            vec![vec![0, 1], vec![2, 3], vec![0, 1]],
+            vec![0, 1, 2, 3],
+        );
+        assert!(common_subexpression(&p).is_none());
+    }
+
+    #[test]
+    fn cse_skips_same_level_producers() {
+        let p = toy(vec![12, 13], vec![vec![0, 1], vec![0, 1]], vec![0, 2]);
+        assert!(common_subexpression(&p).is_none());
+    }
+
+    #[test]
+    fn level_repack_hoists_and_merges() {
+        // Independent ops spread across three levels collapse to one;
+        // the dependent op lands right after its producer.
+        let p = toy(
+            vec![12, 13, 14],
+            vec![vec![0, 1], vec![2, 3], vec![12, 2]],
+            vec![0, 1, 2, 3],
+        );
+        let out = level_repack(&p).expect("hoistable ops present");
+        assert_eq!(
+            ops_of(&out),
+            vec![
+                (12, vec![0, 1], 0),
+                (13, vec![2, 3], 0),
+                (14, vec![12, 2], 1)
+            ],
+        );
+        assert!(level_repack(&out).is_none());
+    }
+
+    #[test]
+    fn level_repack_honors_war_dependencies() {
+        // op1 overwrites b0 which op0 reads: the write may not join the
+        // reader's level.
+        let p = toy(vec![12, 0], vec![vec![0, 1], vec![2, 3]], vec![0, 1, 2]);
+        assert!(level_repack(&p).is_none());
+    }
+
+    #[test]
+    fn scratch_coloring_shares_strictly_separated_lifetimes() {
+        // Two scratch chains in sequence: b5 live levels 0-1, b6 live 2-3.
+        let p = toy(
+            vec![5, 12, 6, 13],
+            vec![vec![0, 1], vec![5, 2], vec![0, 3], vec![6, 1]],
+            vec![0, 1, 2, 3, 4],
+        );
+        let out = scratch_coloring(&p, &BTreeSet::from([12, 13])).expect("colorable");
+        assert_eq!(
+            ops_of(&out),
+            vec![
+                (5, vec![0, 1], 0),
+                (12, vec![5, 2], 1),
+                (5, vec![0, 3], 2),
+                (13, vec![5, 1], 3),
+            ],
+        );
+        assert!(scratch_coloring(&out, &BTreeSet::from([12, 13])).is_none());
+    }
+
+    #[test]
+    fn scratch_coloring_keeps_overlapping_lifetimes_apart() {
+        // b5 and b6 are simultaneously live → distinct slots stay.
+        let p = toy(
+            vec![5, 6, 12],
+            vec![vec![0, 1], vec![2, 3], vec![5, 6]],
+            vec![0, 2, 3],
+        );
+        assert!(scratch_coloring(&p, &BTreeSet::from([12])).is_none());
+    }
+
+    #[test]
+    fn scratch_coloring_pins_blocks_whose_initial_value_is_read() {
+        // b5's pre-program contents feed op0 before op1 overwrites it:
+        // b5 must not join the host pool, and with no other scratch the
+        // pass is the identity.
+        let p = toy(
+            vec![12, 5, 13],
+            vec![vec![5, 0], vec![1, 2], vec![5, 3]],
+            vec![0, 1, 2, 3],
+        );
+        assert!(scratch_coloring(&p, &BTreeSet::from([12, 13])).is_none());
+    }
+}

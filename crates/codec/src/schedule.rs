@@ -88,6 +88,7 @@ impl XorProgram {
         {
             prog.debug_assert_hazard_free();
             prog.debug_assert_peephole_clean();
+            prog.debug_assert_optimizer_certificate();
         }
         prog
     }
@@ -133,6 +134,7 @@ impl XorProgram {
         {
             prog.debug_assert_hazard_free();
             prog.debug_assert_peephole_clean();
+            prog.debug_assert_optimizer_certificate();
         }
         prog
     }
@@ -221,7 +223,7 @@ impl XorProgram {
     /// proof lives in the `dcode-verify` crate; this cheap structural
     /// check catches level-grouping bugs at the moment a program is built.
     #[cfg(debug_assertions)]
-    fn debug_assert_hazard_free(&self) {
+    pub(crate) fn debug_assert_hazard_free(&self) {
         let n = self.grid.len() as u32;
         for lv in 0..self.level_count() {
             let ops = self.level_ops(lv);
@@ -252,7 +254,7 @@ impl XorProgram {
     /// the full pass (dead writes, CSE across targets, working-set
     /// estimates) runs there, where layout context is available.
     #[cfg(debug_assertions)]
-    fn debug_assert_peephole_clean(&self) {
+    pub(crate) fn debug_assert_peephole_clean(&self) {
         let mut seen: std::collections::BTreeSet<(u32, Vec<u32>)> =
             std::collections::BTreeSet::new();
         for op in 0..self.op_count() {
@@ -269,6 +271,22 @@ impl XorProgram {
                 "op {op} is a clone of an earlier op (redundant work)"
             );
         }
+    }
+
+    /// Debug-build recheck run by the compilers after the structural
+    /// guards: the default optimizer pipeline must emit a *holding*
+    /// cost-delta certificate for every freshly compiled program —
+    /// symbolic GF(2) equivalence on all written blocks and no cost
+    /// metric regressed. Compiled programs are lint-clean, so the
+    /// pipeline is also expected to be the identity on them; `holds()`
+    /// is the contract this assert enforces.
+    #[cfg(debug_assertions)]
+    fn debug_assert_optimizer_certificate(&self) {
+        let opt = crate::opt::optimize(self, None, &crate::opt::OptConfig::default());
+        assert!(
+            opt.certificate.holds(),
+            "freshly compiled program failed its optimizer certificate"
+        );
     }
 
     /// Number of XOR operations (target blocks written).

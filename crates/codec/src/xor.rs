@@ -149,8 +149,12 @@ fn wide_xor<const N: usize, const SET: bool>(dst: &mut [u8], srcs: [&[u8]; N]) {
 /// with a 4/2/1 remainder. `pub(crate)` because the fused bulk executor
 /// ([`crate::fused`]) drives tiles directly — tile-major across dependency
 /// levels — instead of through [`xor_gather_into`]'s op-major loop.
-pub(crate) fn xor_tile<'a, I: Copy, F>(d: &mut [u8], indices: &[I], range: (usize, usize), fetch: &F)
-where
+pub(crate) fn xor_tile<'a, I: Copy, F>(
+    d: &mut [u8],
+    indices: &[I],
+    range: (usize, usize),
+    fetch: &F,
+) where
     F: Fn(I) -> &'a [u8],
 {
     let (start, end) = range;

@@ -6,9 +6,11 @@
 
 use dcode_codec::fused::FusedProgram;
 use dcode_codec::{
-    encode_stripes_arena, encode_stripes_pooled, verify_parities, EncodeArena, Stripe, XorProgram,
+    encode_stripes_arena, encode_stripes_pooled, recover_stripes, verify_parities, EncodeArena,
+    Stripe, XorProgram,
 };
 use dcode_core::dcode::dcode;
+use dcode_core::decoder::plan_column_recovery;
 use dcode_core::layout::CodeLayout;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -53,6 +55,47 @@ proptest! {
         for s in &fused_stripes {
             prop_assert!(verify_parities(&layout, s));
         }
+    }
+
+    /// Fused replay of a *recovery* program == sequential per-stripe
+    /// replay, and both restore the batch to its pre-erasure bytes,
+    /// across primes, odd block sizes, batch shapes {1, 3, 16}, and tile
+    /// sizes — plus the public `recover_stripes` bulk entry point, which
+    /// picks the fused path itself.
+    #[test]
+    fn fused_recovery_matches_sequential_and_restores(
+        p_idx in 0usize..2,
+        block_size in 1usize..160,
+        batch_idx in 0usize..3,
+        tile in prop::sample::select(vec![8usize, 63, 1024]),
+        seed in any::<u64>(),
+    ) {
+        let p = [5usize, 7][p_idx];
+        let batch = [1usize, 3, 16][batch_idx];
+        let layout = dcode(p).unwrap();
+        let cols = [0usize, 2];
+        let plan = plan_column_recovery(&layout, &cols).unwrap();
+        let program = XorProgram::compile_plan(layout.grid(), &plan);
+        let encode = XorProgram::compile_encode(&layout);
+        let mut golden = stripes_for(&layout, block_size, batch, seed);
+        for s in &mut golden {
+            encode.run(s);
+        }
+        let mut degraded = golden.clone();
+        for s in &mut degraded {
+            s.erase_columns(&cols);
+        }
+        let mut seq_stripes = degraded.clone();
+        for s in &mut seq_stripes {
+            program.run(s);
+        }
+        let mut fused_stripes = degraded.clone();
+        FusedProgram::fuse(&program, batch).run_with_tile(&mut fused_stripes, tile);
+        prop_assert_eq!(&fused_stripes, &seq_stripes);
+        prop_assert_eq!(&fused_stripes, &golden);
+        let mut via_bulk = degraded;
+        recover_stripes(&layout, &cols, &mut via_bulk, 2).unwrap();
+        prop_assert_eq!(&via_bulk, &golden);
     }
 
     /// The public bulk entry points (which pick the fused path themselves)

@@ -148,6 +148,52 @@ pub fn verify_plan_program(
     compare_to_intended(layout, &state, &intended)
 }
 
+/// Prove a degraded-read *subprogram* restores exactly the `wanted`
+/// cells under the erasure of `erased`, while leaving every survivor
+/// untouched. Unlike [`verify_plan_program`], blocks in `erased ∖
+/// wanted` are unconstrained at the end: the optimizer's scratch
+/// coloring is free to leave intermediates anywhere in the erased set
+/// (the array layer reads only the wanted cells after replay), so
+/// demanding the full column be restored would reject correct optimized
+/// subprograms. Empty result = proved.
+pub fn verify_subprogram(
+    layout: &CodeLayout,
+    program: &XorProgram,
+    erased: &BTreeSet<Cell>,
+    wanted: &BTreeSet<Cell>,
+) -> Vec<Diagnostic> {
+    assert_eq!(
+        program.grid(),
+        layout.grid(),
+        "program compiled for a different grid"
+    );
+    debug_assert!(
+        wanted.is_subset(erased),
+        "wanted cells must be a subset of the erased cells"
+    );
+    let grid = layout.grid();
+    let intended = intended_state(layout);
+    let mut state = intended.clone();
+    for &cell in erased {
+        state[grid.index(cell)] = SymVec::zero(layout.data_len());
+    }
+    let structural = run_symbolic(program, &mut state);
+    if !structural.is_empty() {
+        return structural;
+    }
+    grid.cells()
+        .filter(|cell| !erased.contains(cell) || wanted.contains(cell))
+        .filter(|&cell| state[grid.index(cell)] != intended[grid.index(cell)])
+        .map(|cell| {
+            Diagnostic::error(DiagKind::WrongSymbols {
+                cell,
+                expected: intended[grid.index(cell)].symbols(),
+                actual: state[grid.index(cell)].symbols(),
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,10 @@
 use crate::diag::{DiagKind, Diagnostic};
 use crate::sym::SymVec;
 use dcode_codec::{generator_matrix, FusedProgram, XorProgram};
-use dcode_core::grid::CellKind;
+use dcode_core::decoder::plan_column_recovery;
+use dcode_core::grid::{Cell, CellKind};
 use dcode_core::layout::CodeLayout;
+use std::collections::BTreeSet;
 
 /// The intended post-encode symbolic state of the whole batch, indexed by
 /// virtual block `s·grid.len() + grid.index(cell)`: stripe-shifted unit
@@ -55,28 +57,13 @@ fn intended_batch_state(layout: &CodeLayout, batch: usize) -> Vec<SymVec> {
     out
 }
 
-/// Prove `fused` is a correct batch encode for `layout`: stripe
-/// confinement, then symbolic replay from pristine per-stripe data, then
-/// comparison against [`intended_batch_state`]. Empty result = proved for
-/// every payload, block size, and tile size (the executor's tile loop
-/// only re-orders byte ranges of the same op sequence, and XOR is
-/// elementwise).
-pub fn verify_fused_program(layout: &CodeLayout, fused: &FusedProgram) -> Vec<Diagnostic> {
-    assert_eq!(
-        fused.grid(),
-        layout.grid(),
-        "fused program compiled for a different grid"
-    );
-    let grid = layout.grid();
-    let gl = grid.len();
+/// Pass 1 of every fused proof: stripe confinement. Position within a
+/// level determines the owning stripe (the fuser emits levels
+/// stripe-major), so every block index the op touches must fall in that
+/// stripe's virtual range.
+fn confinement_diags(fused: &FusedProgram) -> Vec<Diagnostic> {
+    let gl = fused.grid().len();
     let batch = fused.batch();
-    let data_len = layout.data_len();
-    let dim = batch * data_len;
-    let total = batch * gl;
-
-    // Pass 1: stripe confinement. Position within a level determines the
-    // owning stripe (the fuser emits levels stripe-major), so every
-    // block index the op touches must fall in that stripe's range.
     let mut diags = Vec::new();
     for lv in 0..fused.level_count() {
         let ops = fused.level_ops(lv);
@@ -107,40 +94,52 @@ pub fn verify_fused_program(layout: &CodeLayout, fused: &FusedProgram) -> Vec<Di
             }
         }
     }
+    diags
+}
 
-    // Pass 2: symbolic replay over the widened symbol space, mirroring
-    // the executor's sequential overwrite semantics (ops in level order;
-    // within a level the order is immaterial by hazard-freedom of the
-    // underlying single-stripe program plus stripe disjointness).
-    let mut state: Vec<SymVec> = Vec::with_capacity(total);
-    for s in 0..batch {
-        for cell in grid.cells() {
-            state.push(match layout.logical_of(cell) {
-                Some(j) => SymVec::unit(dim, s * data_len + j),
-                None => SymVec::zero(dim),
-            });
-        }
-    }
+/// Pass 2 of every fused proof: symbolic replay over the widened symbol
+/// space, mirroring the executor's sequential overwrite semantics (ops
+/// in level order; within a level the order is immaterial by
+/// hazard-freedom of the underlying single-stripe program plus stripe
+/// disjointness). Returns `false` and appends an [`DiagKind::OutOfRange`]
+/// diagnostic if the replay had to abort — a structurally broken program
+/// proves nothing.
+fn replay_fused(fused: &FusedProgram, state: &mut [SymVec], diags: &mut Vec<Diagnostic>) -> bool {
+    let total = state.len();
+    let dim = state.first().map_or(0, SymVec::dim);
     for op in 0..fused.op_count() {
         let target = fused.op_target(op);
         if target >= total {
-            diags.push(Diagnostic::error(DiagKind::OutOfRange { op, block: target }));
-            return diags;
+            diags.push(Diagnostic::error(DiagKind::OutOfRange {
+                op,
+                block: target,
+            }));
+            return false;
         }
         let mut acc = SymVec::zero(dim);
         for &src in fused.op_sources(op) {
             let src = src as usize;
             if src >= total {
                 diags.push(Diagnostic::error(DiagKind::OutOfRange { op, block: src }));
-                return diags;
+                return false;
             }
             acc.xor_assign(&state[src]);
         }
         state[target] = acc;
     }
+    true
+}
 
-    // Pass 3: the final state must equal B shifted copies of the
-    // generator's intended state.
+/// Pass 3 of every fused proof: the final state must equal B shifted
+/// copies of the generator's intended state.
+fn compare_to_intended_batch(
+    layout: &CodeLayout,
+    batch: usize,
+    state: &[SymVec],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let grid = layout.grid();
+    let gl = grid.len();
     let intended = intended_batch_state(layout, batch);
     for s in 0..batch {
         for cell in grid.cells() {
@@ -155,7 +154,101 @@ pub fn verify_fused_program(layout: &CodeLayout, fused: &FusedProgram) -> Vec<Di
             }
         }
     }
+}
+
+/// Prove `fused` is a correct batch encode for `layout`: stripe
+/// confinement, then symbolic replay from pristine per-stripe data, then
+/// comparison against [`intended_batch_state`]. Empty result = proved for
+/// every payload, block size, and tile size (the executor's tile loop
+/// only re-orders byte ranges of the same op sequence, and XOR is
+/// elementwise).
+pub fn verify_fused_program(layout: &CodeLayout, fused: &FusedProgram) -> Vec<Diagnostic> {
+    assert_eq!(
+        fused.grid(),
+        layout.grid(),
+        "fused program compiled for a different grid"
+    );
+    let grid = layout.grid();
+    let batch = fused.batch();
+    let data_len = layout.data_len();
+    let dim = batch * data_len;
+
+    let mut diags = confinement_diags(fused);
+
+    // Initial state: pristine per-stripe data, zeroed parity.
+    let mut state: Vec<SymVec> = Vec::with_capacity(batch * grid.len());
+    for s in 0..batch {
+        for cell in grid.cells() {
+            state.push(match layout.logical_of(cell) {
+                Some(j) => SymVec::unit(dim, s * data_len + j),
+                None => SymVec::zero(dim),
+            });
+        }
+    }
+    if !replay_fused(fused, &mut state, &mut diags) {
+        return diags;
+    }
+    compare_to_intended_batch(layout, batch, &state, &mut diags);
     diags
+}
+
+/// Prove `fused` is a correct batch *recovery* for the erasure of
+/// `erased` cells in every stripe of the batch: starting from B shifted
+/// copies of the intended encoded state with each stripe's erased blocks
+/// zeroed (exactly what a batch of degraded stripes holds), replay must
+/// restore every erased block and leave every survivor untouched, with
+/// no op ever reaching across a stripe boundary. Empty result = proved
+/// for every payload, block size, and tile size.
+pub fn verify_fused_plan(
+    layout: &CodeLayout,
+    fused: &FusedProgram,
+    erased: &BTreeSet<Cell>,
+) -> Vec<Diagnostic> {
+    assert_eq!(
+        fused.grid(),
+        layout.grid(),
+        "fused program compiled for a different grid"
+    );
+    let grid = layout.grid();
+    let gl = grid.len();
+    let batch = fused.batch();
+    let dim = batch * layout.data_len();
+
+    let mut diags = confinement_diags(fused);
+
+    let mut state = intended_batch_state(layout, batch);
+    for s in 0..batch {
+        for &cell in erased {
+            state[s * gl + grid.index(cell)] = SymVec::zero(dim);
+        }
+    }
+    if !replay_fused(fused, &mut state, &mut diags) {
+        return diags;
+    }
+    compare_to_intended_batch(layout, batch, &state, &mut diags);
+    diags
+}
+
+/// Plan the recovery of `cols`, compile it, fuse it at `batch`, and
+/// prove the result with [`verify_fused_plan`] — the form
+/// `verify_layout` and the CLI drive. A planner refusal surfaces as a
+/// [`DiagKind::PlanFailed`] diagnostic rather than a panic, so callers
+/// can probe erasures without pre-checking recoverability.
+pub fn verify_fused_recovery(layout: &CodeLayout, cols: &[usize], batch: usize) -> Vec<Diagnostic> {
+    let plan = match plan_column_recovery(layout, cols) {
+        Ok(plan) => plan,
+        Err(e) => {
+            return vec![Diagnostic::error(DiagKind::PlanFailed {
+                failed: cols.to_vec(),
+                reason: e.to_string(),
+            })]
+        }
+    };
+    let grid = layout.grid();
+    let single = XorProgram::compile_plan(grid, &plan);
+    let fused = FusedProgram::fuse(&single, batch);
+    let erased: BTreeSet<Cell> = cols.iter().flat_map(|&c| grid.column(c)).collect();
+    verify_fused_plan(layout, &fused, &erased)
 }
 
 /// Fuse the layout's compiled encode program at `batch` and prove it —
@@ -189,6 +282,77 @@ mod tests {
     }
 
     #[test]
+    fn fused_recovery_proves_equivalent_for_every_code_and_pair() {
+        for p in [5usize, 7, 11] {
+            for layout in all_codes(p) {
+                for cols in [[0usize, 1], [1, 3]] {
+                    if plan_column_recovery(&layout, &cols).is_err() {
+                        continue; // baseline codes that don't cover this pair
+                    }
+                    for batch in [1usize, 3] {
+                        let diags = verify_fused_recovery(&layout, &cols, batch);
+                        assert!(
+                            diags.is_empty(),
+                            "{} p={p} cols={cols:?} batch={batch}: {diags:?}",
+                            layout.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_recovery_of_unrecoverable_erasure_reports_plan_failure() {
+        let layout = dcode_core::dcode::dcode(7).unwrap();
+        let diags = verify_fused_recovery(&layout, &[0, 1, 2], 2);
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d.kind, DiagKind::PlanFailed { .. })));
+    }
+
+    #[test]
+    fn fused_plan_catches_a_dropped_recovery_operand() {
+        // Mutation self-test: drop the last operand of the final op of a
+        // fused recovery program. Every value read at the final level is
+        // symbolically nonzero (survivors and already-restored blocks),
+        // so the op's result — and the block it leaves behind — must
+        // change, and the equivalence pass must say so.
+        let layout = dcode_core::dcode::dcode(5).unwrap();
+        let plan = plan_column_recovery(&layout, &[0, 1]).unwrap();
+        let single = XorProgram::compile_plan(layout.grid(), &plan);
+        let fused = FusedProgram::fuse(&single, 2);
+        let (targets, mut src_off, mut sources, level_off) = fused.raw_parts();
+        let last = targets.len();
+        assert!(
+            src_off[last] - src_off[last - 1] >= 2,
+            "recovery ops gather at least two blocks"
+        );
+        sources.pop();
+        src_off[last] -= 1;
+        let mutant = FusedProgram::from_raw_parts(
+            fused.batch(),
+            fused.grid(),
+            targets,
+            src_off,
+            sources,
+            level_off,
+        );
+        let erased: BTreeSet<Cell> = layout
+            .grid()
+            .column(0)
+            .chain(layout.grid().column(1))
+            .collect();
+        let diags = verify_fused_plan(&layout, &mutant, &erased);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d.kind, DiagKind::FusedWrongSymbols { .. })),
+            "a dropped op must leave a block at the wrong value: {diags:?}"
+        );
+    }
+
+    #[test]
     fn cross_stripe_index_swap_is_caught() {
         // Mutation self-test: shift one source of a stripe-1 op down into
         // stripe 0's virtual range. Both the confinement pass and the
@@ -206,7 +370,8 @@ mod tests {
             .position(|&s| s >= gl)
             .expect("batch 2 has stripe-1 sources");
         sources[victim] -= gl;
-        let mutant = FusedProgram::from_raw_parts(batch, grid, targets, src_off, sources, level_off);
+        let mutant =
+            FusedProgram::from_raw_parts(batch, grid, targets, src_off, sources, level_off);
         let diags = verify_fused_program(&layout, &mutant);
         assert!(
             diags

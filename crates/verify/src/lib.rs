@@ -16,9 +16,13 @@
 //! * **Equivalence** ([`equiv`]) — replay a compiled encode or recovery
 //!   program symbolically and prove every block ends at the value the
 //!   layout's generator matrix demands. The [`fused`] pass extends this to
-//!   the bulk encoder's fused batch programs: over a batch-widened symbol
-//!   space, a fused program must be stripe-confined and equal to N
-//!   independent copies of the single-stripe generator.
+//!   the bulk path's fused batch programs — encode *and* recovery: over a
+//!   batch-widened symbol space, a fused program must be stripe-confined
+//!   and equal to N independent copies of the single-stripe generator
+//!   (resp. restore every stripe's erased blocks). The [`optpair`] pass
+//!   covers the optimizer tier: an optimized program must agree with its
+//!   original on every output block over a fully generic initial state,
+//!   and must not regress any cost metric.
 //! * **Static race check** ([`race`]) — prove every dependency level is
 //!   hazard-free (no op reads or writes another same-level op's target),
 //!   which makes `run_parallel` data-race-free *by construction*: workers
@@ -46,15 +50,21 @@ pub mod diag;
 pub mod equiv;
 pub mod fused;
 pub mod lint;
+pub mod optpair;
 pub mod race;
 pub mod rank;
 pub mod report;
 pub mod sym;
 
 pub use diag::{DiagKind, Diagnostic, Severity};
-pub use equiv::{intended_state, run_symbolic, verify_encode_program, verify_plan_program};
-pub use fused::{verify_fused_encode, verify_fused_program};
+pub use equiv::{
+    intended_state, run_symbolic, verify_encode_program, verify_plan_program, verify_subprogram,
+};
+pub use fused::{
+    verify_fused_encode, verify_fused_plan, verify_fused_program, verify_fused_recovery,
+};
 pub use lint::lint;
+pub use optpair::verify_optimized_pair;
 pub use race::check_levels;
 pub use rank::{columns_recoverable, rank_deficiency, verify_mds_by_rank, RankViolation};
 pub use report::{verify_layout, VerifyReport};

@@ -3,11 +3,13 @@
 
 use crate::diag::{DiagKind, Diagnostic, Severity};
 use crate::equiv::{verify_encode_program, verify_plan_program};
-use crate::fused::verify_fused_program;
+use crate::fused::{verify_fused_program, verify_fused_recovery};
 use crate::lint::lint;
-use dcode_codec::FusedProgram;
+use crate::optpair::verify_optimized_pair;
 use crate::race::check_levels;
 use crate::rank::verify_mds_by_rank;
+use dcode_codec::opt::{optimize, OptConfig};
+use dcode_codec::FusedProgram;
 use dcode_codec::XorProgram;
 use dcode_core::decoder::plan_column_recovery;
 use dcode_core::grid::Cell;
@@ -33,6 +35,13 @@ pub struct VerifyReport {
     /// Fused batch encode programs proved equivalent to N independent
     /// copies of the single-stripe generator (one per batch shape).
     pub fused_batches_verified: usize,
+    /// Optimizer input/output pairs proved equivalent on their outputs
+    /// over a generic initial state, with no cost metric regressed
+    /// (the encode program plus every recovery plan program).
+    pub optimized_pairs_verified: usize,
+    /// Fused batch *recovery* programs proved stripe-confined and
+    /// symbolically restoring (one per batch shape).
+    pub fused_recoveries_verified: usize,
     /// Every finding from every pass, in pass order.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -56,14 +65,16 @@ impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} p={} ({} disks): encode {} ops / {} levels, {} recovery plans, {} fused batches — ",
+            "{} p={} ({} disks): encode {} ops / {} levels, {} recovery plans, {} fused batches, {} optimized pairs, {} fused recoveries — ",
             self.code,
             self.p,
             self.disks,
             self.encode_ops,
             self.encode_levels,
             self.plans_verified,
-            self.fused_batches_verified
+            self.fused_batches_verified,
+            self.optimized_pairs_verified,
+            self.fused_recoveries_verified
         )?;
         if self.is_clean() {
             f.write_str("verified")
@@ -99,7 +110,14 @@ fn verify_program(
 ///    plan is race-free, lint-clean, and symbolically restores the stripe;
 /// 4. **fused batches** — the bulk encoder's fused batch programs are
 ///    stripe-confined and symbolically equal to N independent copies of
-///    the single-stripe generator.
+///    the single-stripe generator;
+/// 5. **optimized pairs** — the default optimizer pipeline's output for
+///    the encode program and every recovery program agrees with its
+///    input on every output block over a fully generic initial state,
+///    and regresses no cost metric (the independent check of the
+///    optimizer's own certificates);
+/// 6. **fused recoveries** — fused batch recovery programs restore every
+///    stripe of the batch without crossing stripe boundaries.
 ///
 /// A clean report is a proof (for every payload and block size) that the
 /// codec's compiled hot paths are correct and that `run_parallel` is safe.
@@ -120,6 +138,19 @@ pub fn verify_layout(layout: &CodeLayout) -> VerifyReport {
         &mut diagnostics,
     );
 
+    let config = OptConfig::default();
+    let mut optimized_pairs_verified = 0usize;
+    let prove_optimized =
+        |program: &XorProgram, outputs: &BTreeSet<usize>, diagnostics: &mut Vec<Diagnostic>| {
+            let opt = optimize(program, Some(outputs), &config);
+            diagnostics.extend(verify_optimized_pair(program, &opt.program, outputs));
+        };
+    let encode_outputs: BTreeSet<usize> = (0..encode.op_count())
+        .map(|op| encode.op_target(op))
+        .collect();
+    prove_optimized(&encode, &encode_outputs, &mut diagnostics);
+    optimized_pairs_verified += 1;
+
     let mut plans_verified = 0usize;
     for c1 in 0..layout.disks() {
         for c2 in c1 + 1..layout.disks() {
@@ -137,6 +168,11 @@ pub fn verify_layout(layout: &CodeLayout) -> VerifyReport {
                         &mut diagnostics,
                     );
                     plans_verified += 1;
+                    let grid = layout.grid();
+                    let outputs: BTreeSet<usize> =
+                        erased.iter().map(|&cell| grid.index(cell)).collect();
+                    prove_optimized(&program, &outputs, &mut diagnostics);
+                    optimized_pairs_verified += 1;
                 }
                 Err(e) => diagnostics.push(Diagnostic::error(DiagKind::PlanFailed {
                     failed: vec![c1, c2],
@@ -157,6 +193,18 @@ pub fn verify_layout(layout: &CodeLayout) -> VerifyReport {
         fused_batches_verified += 1;
     }
 
+    // The bulk path's fused *recovery* programs, same sampling logic:
+    // one representative erasure, two batch shapes. Skipped when the
+    // planner (rightly) refuses the pair — the rank pass above already
+    // reported the erasure as unrecoverable.
+    let mut fused_recoveries_verified = 0usize;
+    if plan_column_recovery(layout, &[0, 1]).is_ok() {
+        for batch in [2usize, 3] {
+            diagnostics.extend(verify_fused_recovery(layout, &[0, 1], batch));
+            fused_recoveries_verified += 1;
+        }
+    }
+
     VerifyReport {
         code: layout.name().to_string(),
         p: layout.prime(),
@@ -165,6 +213,8 @@ pub fn verify_layout(layout: &CodeLayout) -> VerifyReport {
         encode_levels: encode.level_count(),
         plans_verified,
         fused_batches_verified,
+        optimized_pairs_verified,
+        fused_recoveries_verified,
         diagnostics,
     }
 }
@@ -182,6 +232,8 @@ mod tests {
         assert_eq!(report.plans_verified, 21);
         assert_eq!(report.encode_ops, 14);
         assert_eq!(report.fused_batches_verified, 2);
+        assert_eq!(report.optimized_pairs_verified, 22);
+        assert_eq!(report.fused_recoveries_verified, 2);
         assert!(report.to_string().ends_with("verified"));
     }
 

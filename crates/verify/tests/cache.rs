@@ -9,7 +9,7 @@ use std::sync::Arc;
 use dcode_baselines::registry::{build, ALL_CODES};
 use dcode_codec::ScheduleCache;
 use dcode_core::grid::Cell;
-use dcode_verify::{verify_encode_program, verify_plan_program};
+use dcode_verify::{verify_encode_program, verify_plan_program, verify_subprogram};
 
 #[test]
 fn cached_encode_programs_prove_equivalent_and_stable() {
@@ -51,20 +51,29 @@ fn cached_column_recoveries_prove_equivalent_and_stable() {
 
 #[test]
 fn cached_subprograms_prove_equivalent_and_stable() {
-    // A degraded read of one lost column under a double erasure: the
-    // subprogram must restore exactly the missing cells from an intended
-    // state where only those cells are zeroed.
+    // A degraded read of one lost column under a double erasure: starting
+    // from an intended state with BOTH erased columns zeroed (what the
+    // degraded array actually holds), the subprogram must restore exactly
+    // the wanted cells and leave every survivor untouched. Cells of the
+    // other erased column are unconstrained — the cache's optimizer
+    // pipeline scratch-colors them, so they may end holding intermediates.
     let cache = ScheduleCache::new();
     for &id in &ALL_CODES {
         let layout = build(id, 7).unwrap();
         let grid = layout.grid();
         let cols = [0usize, 2];
         let missing: BTreeSet<Cell> = grid.column(0).collect();
+        let erased: BTreeSet<Cell> = cols.iter().flat_map(|&c| grid.column(c)).collect();
         let compiled = cache
             .recovery_subprogram(&layout, cols.iter().copied(), &missing)
             .unwrap();
-        let diags = verify_plan_program(&layout, &compiled.program, &missing);
+        let diags = verify_subprogram(&layout, &compiled.program, &erased, &missing);
         assert!(diags.is_empty(), "{} p=7: {diags:#?}", id.name());
+        assert!(
+            compiled.certificate.holds(),
+            "{} subprogram certificate does not hold",
+            id.name()
+        );
         let again = cache
             .recovery_subprogram(&layout, cols.iter().copied(), &missing)
             .unwrap();
